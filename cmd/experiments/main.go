@@ -1,0 +1,106 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                # every experiment, reduced scale
+//	experiments -exp table3 -scale full # one experiment at paper scale
+//	experiments -exp list               # list experiment ids
+//
+// Scales: bench (256x192, fastest), reduced (512x384, default), full
+// (1024x768 over the paper's 411/525 frames; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"texcache/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id, 'all', or 'list'")
+	scaleName := flag.String("scale", "reduced", "bench | reduced | full")
+	out := flag.String("o", "", "write output to file instead of stdout")
+	parallel := flag.Int("parallel", 0,
+		"precompute shared simulation runs with this many goroutines (0 = GOMAXPROCS, -1 = off)")
+	csvDir := flag.String("csv", "", "also export per-frame figure series as CSV into this directory")
+	flag.Parse()
+
+	if *exp == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "bench":
+		scale = experiments.Bench
+	case "reduced":
+		scale = experiments.Reduced
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ctx := experiments.NewContext(scale, w)
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		if *parallel >= 0 {
+			start := time.Now()
+			if err := ctx.Prefetch(*parallel); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[prefetch done in %v]\n",
+				time.Since(start).Round(time.Millisecond))
+		}
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		exportCSV(ctx, *csvDir)
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -exp list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+	exportCSV(ctx, *csvDir)
+}
+
+func exportCSV(ctx *experiments.Context, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := ctx.ExportCSV(dir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[csv series written to %s]\n", dir)
+}

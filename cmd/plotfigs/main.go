@@ -1,0 +1,171 @@
+// Command plotfigs renders the experiment CSV exports (cmd/experiments
+// -csv) into SVG line charts mirroring the paper's figures.
+//
+// Usage:
+//
+//	experiments -exp all -csv series/
+//	plotfigs -in series/ -out figs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"texcache/internal/plot"
+)
+
+func main() {
+	in := flag.String("in", ".", "directory containing the CSV series")
+	out := flag.String("out", ".", "directory to write SVG figures")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	n := 0
+	for _, spec := range figureSpecs {
+		path := filepath.Join(*in, spec.csv)
+		if _, err := os.Stat(path); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", spec.csv, err)
+			continue
+		}
+		chart, err := spec.build(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", spec.csv, err))
+		}
+		dst := filepath.Join(*out, spec.svg)
+		f, err := os.Create(dst)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chart.Render(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", dst)
+		n++
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("no CSV series found in %s", *in))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// figureSpec maps one CSV file to one SVG chart.
+type figureSpec struct {
+	csv   string
+	svg   string
+	build func(path string) (*plot.Chart, error)
+}
+
+var figureSpecs = []figureSpec{
+	{"fig4-village.csv", "fig4-village.svg", buildFig4("Figure 4: minimum memory (Village)")},
+	{"fig4-city.csv", "fig4-city.svg", buildFig4("Figure 4: minimum memory (City)")},
+	{"fig5-village.csv", "fig5-village.svg", buildFig5("Figure 5: total vs new L2 memory (Village)")},
+	{"fig5-city.csv", "fig5-city.svg", buildFig5("Figure 5: total vs new L2 memory (City)")},
+	{"fig6-village.csv", "fig6-village.svg", buildFig6("Figure 6: minimum L1 bandwidth (Village)")},
+	{"fig6-city.csv", "fig6-city.svg", buildFig6("Figure 6: minimum L1 bandwidth (City)")},
+	{"fig9-village.csv", "fig9-village.svg", buildFig9("Figure 9: L1 miss rate by cache size (Village)")},
+	{"fig10-village.csv", "fig10-village.svg", buildFig10("Figure 10: download bandwidth (Village)")},
+	{"fig10-city.csv", "fig10-city.svg", buildFig10("Figure 10: download bandwidth (City)")},
+	{"fig11-village.csv", "fig11-village.svg", buildFig11("Figure 11: TLB hit rate (Village)")},
+	{"fig11-city.csv", "fig11-city.svg", buildFig11("Figure 11: TLB hit rate (City)")},
+}
+
+const toMB = 1.0 / (1 << 20)
+
+func buildFig4(title string) func(string) (*plot.Chart, error) {
+	return func(path string) (*plot.Chart, error) {
+		header, cols, err := plot.LoadCSV(path)
+		if err != nil {
+			return nil, err
+		}
+		return &plot.Chart{
+			Title: title, XLabel: "frame", YLabel: "MB",
+			Series: plot.SeriesFromColumns(header, cols, toMB, trimSuffix("_bytes")),
+		}, nil
+	}
+}
+
+func buildFig5(title string) func(string) (*plot.Chart, error) {
+	return func(path string) (*plot.Chart, error) {
+		header, cols, err := plot.LoadCSV(path)
+		if err != nil {
+			return nil, err
+		}
+		return &plot.Chart{
+			Title: title, XLabel: "frame", YLabel: "MB", LogY: true,
+			Series: plot.SeriesFromColumns(header, cols, toMB, trimSuffix("_bytes")),
+		}, nil
+	}
+}
+
+func buildFig6(title string) func(string) (*plot.Chart, error) {
+	return buildFig5(title) // same shape: per-frame bytes, log scale
+}
+
+func buildFig9(title string) func(string) (*plot.Chart, error) {
+	return func(path string) (*plot.Chart, error) {
+		header, cols, err := plot.LoadCSV(path)
+		if err != nil {
+			return nil, err
+		}
+		return &plot.Chart{
+			Title: title, XLabel: "frame", YLabel: "miss rate (%)",
+			Series: plot.SeriesFromColumns(header, cols, 100, trimPrefix("miss_rate_")),
+		}, nil
+	}
+}
+
+func buildFig10(title string) func(string) (*plot.Chart, error) {
+	return func(path string) (*plot.Chart, error) {
+		header, cols, err := plot.LoadCSV(path)
+		if err != nil {
+			return nil, err
+		}
+		return &plot.Chart{
+			Title: title, XLabel: "frame", YLabel: "MB/frame", LogY: true,
+			Series: plot.SeriesFromColumns(header, cols, toMB, trimPrefix("host_bytes_")),
+		}, nil
+	}
+}
+
+func buildFig11(title string) func(string) (*plot.Chart, error) {
+	return func(path string) (*plot.Chart, error) {
+		header, cols, err := plot.LoadCSV(path)
+		if err != nil {
+			return nil, err
+		}
+		return &plot.Chart{
+			Title: title, XLabel: "TLB entries", YLabel: "hit rate (%)",
+			Series: plot.SeriesFromColumns(header, cols, 100, nil),
+		}, nil
+	}
+}
+
+func trimSuffix(sfx string) func(string) string {
+	return func(s string) string {
+		if len(s) > len(sfx) && s[len(s)-len(sfx):] == sfx {
+			return s[:len(s)-len(sfx)]
+		}
+		return s
+	}
+}
+
+func trimPrefix(pfx string) func(string) string {
+	return func(s string) string {
+		if len(s) > len(pfx) && s[:len(pfx)] == pfx {
+			return s[len(pfx):]
+		}
+		return s
+	}
+}

@@ -1,0 +1,164 @@
+// Command texsim runs one workload through one texture cache configuration
+// and prints a transaction report: L1/L2 hit rates, host and local memory
+// traffic, TLB behaviour, and working-set statistics.
+//
+// Examples:
+//
+//	texsim -workload village -l1 2048 -l2mb 2
+//	texsim -workload city -mode bilinear -l2mb 0          # pull architecture
+//	texsim -workload village -l2mb 4 -l2tile 32 -policy lru -zfirst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"texcache/internal/cache"
+	"texcache/internal/core"
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+	"texcache/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "village", "village | city | mall")
+	width := flag.Int("width", 512, "screen width")
+	height := flag.Int("height", 384, "screen height")
+	frames := flag.Int("frames", 60, "frames to simulate (0 = paper scale)")
+	mode := flag.String("mode", "trilinear", "point | bilinear | trilinear")
+	l1 := flag.Int("l1", 2048, "L1 cache bytes")
+	l2mb := flag.Int("l2mb", 2, "L2 cache MB (0 = pull architecture)")
+	l2tile := flag.Int("l2tile", 16, "L2 tile edge texels (8 | 16 | 32)")
+	policy := flag.String("policy", "clock", "clock | lru | random")
+	tlb := flag.Int("tlb", 16, "TLB entries")
+	zfirst := flag.Bool("zfirst", false, "depth test before texture access")
+	nosector := flag.Bool("nosector", false, "disable sector mapping")
+	stats := flag.Bool("stats", false, "collect working-set statistics")
+	flag.Parse()
+
+	var w *workload.Workload
+	switch *wl {
+	case "village":
+		w = workload.Village()
+	case "city":
+		w = workload.City()
+	case "mall":
+		w = workload.Mall()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Width: *width, Height: *height, Frames: *frames,
+		L1Bytes:        *l1,
+		TLBEntries:     *tlb,
+		ZBeforeTexture: *zfirst,
+	}
+	switch *mode {
+	case "point":
+		cfg.Mode = raster.Point
+	case "bilinear":
+		cfg.Mode = raster.Bilinear
+	case "trilinear":
+		cfg.Mode = raster.Trilinear
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *l2mb > 0 {
+		var pol cache.PolicyKind
+		switch *policy {
+		case "clock":
+			pol = cache.Clock
+		case "lru":
+			pol = cache.TrueLRU
+		case "random":
+			pol = cache.Random
+		default:
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+		cfg.L2 = &cache.L2Config{
+			SizeBytes:       *l2mb << 20,
+			Layout:          texture.TileLayout{L2Size: *l2tile, L1Size: 4},
+			Policy:          pol,
+			NoSectorMapping: *nosector,
+		}
+	}
+	if *stats {
+		cfg.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
+	}
+
+	res, err := core.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report(w, cfg, res)
+}
+
+func report(w *workload.Workload, cfg core.Config, res *core.Results) {
+	n := float64(len(res.Frames))
+	t := res.Totals
+	fmt.Printf("workload %s: %d textures (%.1f MB host), %d triangles, %d frames at %dx%d (%v)\n",
+		w.Name, w.Scene.Textures.Len(),
+		float64(w.Scene.Textures.HostBytes())/(1<<20),
+		w.Scene.TriangleCount(), len(res.Frames), cfg.Width, cfg.Height, cfg.Mode)
+
+	fmt.Printf("\nL1 cache (%d KB, 2-way, 64B lines):\n", cfg.L1Bytes/1024)
+	fmt.Printf("  accesses   %14d\n", t.L1.Accesses)
+	fmt.Printf("  hit rate   %14.2f%%\n", 100*t.L1.HitRate())
+
+	if cfg.L2 != nil {
+		fmt.Printf("\nL2 cache (%d MB, %dx%d tiles, %s):\n",
+			cfg.L2.SizeBytes>>20, cfg.L2.Layout.L2Size, cfg.L2.Layout.L2Size,
+			cfg.L2.Policy)
+		fmt.Printf("  full hits  %14d (%.2f%%)\n", t.L2.FullHits, 100*t.L2.FullHitRate())
+		fmt.Printf("  partial    %14d (%.2f%%)\n", t.L2.PartialHits, 100*t.L2.PartialHitRate())
+		fmt.Printf("  misses     %14d\n", t.L2.FullMisses)
+		fmt.Printf("  evictions  %14d (max victim search %d)\n", t.L2.Evictions, t.L2.MaxSearch)
+		if cfg.TLBEntries > 0 {
+			fmt.Printf("  TLB        %14.2f%% hit (%d entries)\n",
+				100*t.TLB.HitRate(), cfg.TLBEntries)
+		}
+	} else {
+		fmt.Printf("\npull architecture (no L2)\n")
+	}
+
+	fmt.Printf("\ntraffic per frame:\n")
+	fmt.Printf("  host (AGP)      %10.3f MB\n", float64(t.HostBytes)/n/(1<<20))
+	fmt.Printf("  L2 -> L1 fills  %10.3f MB\n", float64(t.L2ReadBytes)/n/(1<<20))
+	fmt.Printf("  host -> L2      %10.3f MB\n", float64(t.L2WriteBytes)/n/(1<<20))
+	fmt.Printf("  at 30 Hz, host bandwidth = %.1f MB/s\n",
+		float64(t.HostBytes)/n*30/(1<<20))
+
+	if res.Summary != nil {
+		s := res.Summary
+		fmt.Printf("\nworking set (point of view of §4):\n")
+		fmt.Printf("  depth complexity  %6.2f\n", s.DepthComplexity)
+		ls, ok := s.Layout(texture.TileLayout{L2Size: 16, L1Size: 4})
+		if ok {
+			fmt.Printf("  16x16 blocks/frame %8.0f (%.2f MB), %.0f new (%.0f KB)\n",
+				ls.AvgBlocks, ls.AvgBytes/(1<<20),
+				ls.AvgNewBlocks, ls.AvgNewBytes/1024)
+			fmt.Printf("  block utilization  %8.2f\n", ls.Utilization)
+		}
+		fmt.Printf("  min push memory    %8.2f MB avg, %.2f MB peak\n",
+			s.AvgPushBytes/(1<<20), float64(s.MaxPushBytes)/(1<<20))
+		var total int64
+		for _, n := range s.LevelRefs {
+			total += n
+		}
+		if total > 0 {
+			fmt.Printf("  MIP level histogram:\n")
+			for m, refs := range s.LevelRefs {
+				if refs > 0 {
+					fmt.Printf("    level %2d %6.1f%%\n",
+						m, 100*float64(refs)/float64(total))
+				}
+			}
+		}
+	}
+}

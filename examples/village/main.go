@@ -1,0 +1,60 @@
+// Village: the paper's walk-through workload end-to-end. Renders the
+// animation once and simulates five cache architectures against the same
+// texel reference stream (the Figure 10 / Table 3 comparison).
+//
+// Run with: go run ./examples/village
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"texcache/internal/cache"
+	"texcache/internal/core"
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+	"texcache/internal/workload"
+)
+
+func main() {
+	w := workload.Village()
+	fmt.Printf("Village: %d objects, %d triangles, %d textures (%.1f MB in host memory)\n",
+		len(w.Scene.Objects), w.Scene.TriangleCount(), w.Scene.Textures.Len(),
+		float64(w.Scene.Textures.HostBytes())/(1<<20))
+
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	specs := []core.CacheSpec{
+		{Name: "pull, 16KB L1", L1Bytes: 16 << 10},
+		{Name: "pull,  2KB L1", L1Bytes: 2 << 10},
+		{Name: "2MB L2, 2KB L1", L1Bytes: 2 << 10,
+			L2: &cache.L2Config{SizeBytes: 2 << 20, Layout: layout, Policy: cache.Clock}},
+		{Name: "4MB L2, 2KB L1", L1Bytes: 2 << 10,
+			L2: &cache.L2Config{SizeBytes: 4 << 20, Layout: layout, Policy: cache.Clock}},
+		{Name: "8MB L2, 2KB L1", L1Bytes: 2 << 10,
+			L2: &cache.L2Config{SizeBytes: 8 << 20, Layout: layout, Policy: cache.Clock}},
+	}
+
+	render := core.Config{
+		Width: 512, Height: 384,
+		Frames: 80, // subsample of the 411-frame walk-through
+		Mode:   raster.Trilinear,
+	}
+	cmp, err := core.RunComparison(w, render, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-16s %10s %14s %14s\n",
+		"architecture", "L1 hit", "host MB/frame", "MB/s at 30Hz")
+	for i, spec := range specs {
+		res := cmp.Results[i]
+		perFrame := res.AvgHostMBPerFrame()
+		fmt.Printf("%-16s %9.2f%% %14.3f %14.1f\n",
+			spec.Name, 100*res.Totals.L1.HitRate(), perFrame, perFrame*30)
+	}
+
+	pull := cmp.Results[1].AvgHostMBPerFrame()
+	l2 := cmp.Results[2].AvgHostMBPerFrame()
+	fmt.Printf("\nEven a 2MB L2 cache cuts host texture bandwidth %.0fx (paper: 18x at 1024x768).\n",
+		pull/l2)
+}

@@ -1,0 +1,60 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"texcache/internal/cache"
+	"texcache/internal/texture"
+)
+
+// ExampleHierarchy walks the Figure 7 control flow: an L1 miss goes to the
+// L2 cache, which allocates a block (full miss), then serves the sibling
+// sub-block as a partial hit and repeats as full hits.
+func ExampleHierarchy() {
+	l2 := cache.MustNewL2(cache.L2Config{
+		SizeBytes: 16 << 10,
+		Layout:    texture.TileLayout{L2Size: 16, L1Size: 4},
+		Policy:    cache.Clock,
+	}, 128)
+	h := &cache.Hierarchy{L1: cache.MustNewL1(2048), L2: l2, TLB: cache.NewTLB(16)}
+
+	ref := func(pt uint32, sub uint8) cache.Ref {
+		return cache.Ref{
+			L1:      cache.L1Ref{Tag: cache.PackTag(0, pt, uint16(sub)), Set: pt*31 + uint32(sub)},
+			PTIndex: pt,
+			Sub:     sub,
+		}
+	}
+	h.Access(ref(5, 0)) // L1 miss, L2 full miss: host download
+	h.Access(ref(5, 0)) // L1 hit
+	h.Access(ref(5, 1)) // L1 miss, L2 partial hit: host download
+	h.Access(ref(5, 1)) // L1 hit
+
+	c := h.Counters()
+	fmt.Printf("L1: %d accesses, %d misses\n", c.L1.Accesses, c.L1.Misses)
+	fmt.Printf("L2: %d full, %d partial, %d miss\n",
+		c.L2.FullHits, c.L2.PartialHits, c.L2.FullMisses)
+	fmt.Printf("host bytes: %d\n", c.HostBytes)
+	// Output:
+	// L1: 4 accesses, 2 misses
+	// L2: 0 full, 1 partial, 1 miss
+	// host bytes: 128
+}
+
+// ExampleL2Cache_DeleteTexture shows the host-driver deallocation path of
+// §5.2: releasing a texture's page-table range frees its physical blocks.
+func ExampleL2Cache_DeleteTexture() {
+	l2 := cache.MustNewL2(cache.L2Config{
+		SizeBytes: 4 << 10,
+		Layout:    texture.TileLayout{L2Size: 16, L1Size: 4},
+		Policy:    cache.Clock,
+	}, 64)
+	l2.Access(10, 0)
+	l2.Access(11, 0)
+	fmt.Println("resident before:", l2.ResidentBlocks())
+	l2.DeleteTexture(10, 2)
+	fmt.Println("resident after:", l2.ResidentBlocks())
+	// Output:
+	// resident before: 2
+	// resident after: 0
+}

@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+func ref(tag uint64, set uint32, pt uint32, sub uint8) Ref {
+	return Ref{L1: L1Ref{Tag: tag, Set: set}, PTIndex: pt, Sub: sub}
+}
+
+func TestHierarchyPullArchitecture(t *testing.T) {
+	h := &Hierarchy{L1: MustNewL1(2048)}
+	r := ref(PackTag(0, 1, 2), 3, 0, 0)
+	h.Access(r) // miss: downloads one line from host
+	h.Access(r) // hit: no traffic
+	c := h.Counters()
+	if c.HostBytes != L1LineBytes {
+		t.Errorf("HostBytes = %d, want %d", c.HostBytes, L1LineBytes)
+	}
+	if c.L2ReadBytes != 0 || c.L2WriteBytes != 0 {
+		t.Error("pull architecture recorded L2 traffic")
+	}
+	if c.L1.Misses != 1 || c.L1.Accesses != 2 {
+		t.Errorf("L1 stats = %+v", c.L1)
+	}
+}
+
+func TestHierarchyL2Traffic(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	l2 := MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64)
+	h := &Hierarchy{L1: MustNewL1(2048), L2: l2}
+
+	a := ref(PackTag(0, 5, 0), 10, 5, 0)
+	h.Access(a) // L1 miss, L2 full miss: host download 64B
+	c := h.Counters()
+	if c.HostBytes != 64 || c.L2WriteBytes != 64 || c.L2ReadBytes != 0 {
+		t.Errorf("after full miss: %+v", c)
+	}
+
+	// Conflicting L1 line in the same set twice over evicts `a` from L1
+	// while it remains in L2.
+	b := ref(PackTag(1, 5, 0), 10, 6, 0)
+	d := ref(PackTag(2, 5, 0), 10, 7, 0)
+	h.Access(b)
+	h.Access(d)
+	h.Access(a) // L1 miss again, but L2 full hit: local read only
+	c = h.Counters()
+	if c.HostBytes != 3*64 {
+		t.Errorf("HostBytes = %d, want %d", c.HostBytes, 3*64)
+	}
+	if c.L2ReadBytes != 64 {
+		t.Errorf("L2ReadBytes = %d, want 64", c.L2ReadBytes)
+	}
+	if c.L2.FullHits != 1 {
+		t.Errorf("L2 full hits = %d, want 1", c.L2.FullHits)
+	}
+}
+
+func TestHierarchyPartialHitTraffic(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	l2 := MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64)
+	h := &Hierarchy{L1: MustNewL1(2048), L2: l2}
+
+	h.Access(ref(PackTag(0, 5, 0), 1, 5, 0)) // full miss
+	h.Access(ref(PackTag(0, 5, 1), 2, 5, 1)) // same L2 block, new sub: partial
+	c := h.Counters()
+	if c.L2.PartialHits != 1 {
+		t.Errorf("partial hits = %d, want 1", c.L2.PartialHits)
+	}
+	if c.HostBytes != 2*64 {
+		t.Errorf("HostBytes = %d, want 128", c.HostBytes)
+	}
+}
+
+func TestHierarchyNoSectorMappingDownloadsWholeBlock(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4} // block = 1024B
+	l2 := MustNewL2(L2Config{
+		SizeBytes: 16 * 1024, Layout: layout, Policy: Clock, NoSectorMapping: true,
+	}, 64)
+	h := &Hierarchy{L1: MustNewL1(2048), L2: l2}
+	h.Access(ref(PackTag(0, 5, 0), 1, 5, 0))
+	c := h.Counters()
+	if c.HostBytes != 1024 {
+		t.Errorf("HostBytes = %d, want 1024 (whole L2 block)", c.HostBytes)
+	}
+}
+
+func TestHierarchyTLBCountsOnlyL1Misses(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	l2 := MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64)
+	h := &Hierarchy{L1: MustNewL1(2048), L2: l2, TLB: NewTLB(4)}
+	r := ref(PackTag(0, 5, 0), 1, 5, 0)
+	h.Access(r) // L1 miss -> TLB lookup (miss)
+	h.Access(r) // L1 hit -> no TLB lookup
+	h.Access(r)
+	c := h.Counters()
+	if c.TLB.Lookups != 1 {
+		t.Errorf("TLB lookups = %d, want 1", c.TLB.Lookups)
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{
+		L1:        L1Stats{Accesses: 10, Misses: 2},
+		L2:        L2Stats{FullHits: 5},
+		TLB:       TLBStats{Lookups: 4, Hits: 3},
+		HostBytes: 100, L2ReadBytes: 50, L2WriteBytes: 25,
+	}
+	b := Counters{
+		L1:        L1Stats{Accesses: 4, Misses: 1},
+		L2:        L2Stats{FullHits: 2},
+		TLB:       TLBStats{Lookups: 2, Hits: 1},
+		HostBytes: 60, L2ReadBytes: 20, L2WriteBytes: 5,
+	}
+	d := a.Sub(b)
+	if d.L1.Accesses != 6 || d.L2.FullHits != 3 || d.TLB.Hits != 2 ||
+		d.HostBytes != 40 || d.L2ReadBytes != 30 || d.L2WriteBytes != 20 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestInclusionNotGuaranteed(t *testing.T) {
+	// The paper notes (§5.3.2 footnote) that unlike processor multi-level
+	// caches, inclusion is not guaranteed: an L1 block A loaded from L2
+	// block B may remain in L1 after B is replaced in L2.
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4} // 256B blocks, 4 subs
+	l2 := MustNewL2(L2Config{SizeBytes: 2 * 256, Layout: layout, Policy: Clock}, 64)
+	h := &Hierarchy{L1: MustNewL1(2048), L2: l2}
+
+	a := ref(PackTag(0, 0, 0), 1, 0, 0)
+	h.Access(a) // into L1 and L2
+	// Two more virtual blocks overflow the 2-block L2, evicting block 0.
+	h.Access(ref(PackTag(0, 1, 0), 2, 1, 0))
+	h.Access(ref(PackTag(0, 2, 0), 3, 2, 0))
+	if l2.Contains(0, 0) {
+		t.Fatal("block 0 unexpectedly still in L2")
+	}
+	if !h.L1.Contains(a.L1) {
+		t.Fatal("inclusion violated in the wrong direction: L1 lost the line")
+	}
+	// Re-access hits L1 even though L2 evicted the parent block.
+	before := h.Counters()
+	h.Access(a)
+	after := h.Counters()
+	if after.L1.Misses != before.L1.Misses {
+		t.Error("L1 re-access missed; expected a hit despite L2 eviction")
+	}
+}

@@ -1,0 +1,161 @@
+package cache
+
+import "testing"
+
+func TestNewL1AssocConfigs(t *testing.T) {
+	cases := []struct {
+		size, ways int
+		wantSets   int
+	}{
+		{2048, 1, 32}, // direct-mapped
+		{2048, 2, 16}, // paper baseline
+		{2048, 4, 8},  // 4-way
+		{2048, 32, 1}, // fully associative
+		{16384, 4, 64},
+	}
+	for _, c := range cases {
+		cache, err := NewL1Assoc(c.size, c.ways)
+		if err != nil {
+			t.Fatalf("NewL1Assoc(%d, %d): %v", c.size, c.ways, err)
+		}
+		if cache.Sets() != c.wantSets || cache.Ways() != c.ways {
+			t.Errorf("(%d,%d): sets=%d ways=%d, want %d/%d",
+				c.size, c.ways, cache.Sets(), cache.Ways(), c.wantSets, c.ways)
+		}
+	}
+}
+
+func TestNewL1AssocRejects(t *testing.T) {
+	bad := []struct{ size, ways int }{
+		{2048, 0},
+		{2048, -2},
+		{2048, 3}, // 3 does not divide 32 lines
+		{0, 2},
+		{2048, 64}, // more ways than lines
+	}
+	for _, c := range bad {
+		if _, err := NewL1Assoc(c.size, c.ways); err == nil {
+			t.Errorf("NewL1Assoc(%d, %d) accepted", c.size, c.ways)
+		}
+	}
+	// Edge case that IS legal: 3 lines, 3 ways = a one-set (fully
+	// associative) cache.
+	if _, err := NewL1Assoc(192, 3); err != nil {
+		t.Errorf("NewL1Assoc(192, 3) rejected: %v", err)
+	}
+}
+
+func TestFourWayHoldsFourConflicting(t *testing.T) {
+	c := MustNewL1Assoc(2048, 4)
+	refs := make([]L1Ref, 4)
+	for i := range refs {
+		refs[i] = L1Ref{Tag: PackTag(uint32(i), 0, 0), Set: 5}
+		c.Access(refs[i])
+	}
+	for i, r := range refs {
+		if !c.Contains(r) {
+			t.Errorf("line %d evicted from a 4-way set holding 4 lines", i)
+		}
+	}
+	// A fifth conflicting line evicts the LRU (refs[0]).
+	c.Access(L1Ref{Tag: PackTag(9, 0, 0), Set: 5})
+	if c.Contains(refs[0]) {
+		t.Error("LRU line survived")
+	}
+	if !c.Contains(refs[1]) {
+		t.Error("non-LRU line evicted")
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	c := MustNewL1Assoc(2048, 1)
+	a := L1Ref{Tag: PackTag(1, 0, 0), Set: 3}
+	b := L1Ref{Tag: PackTag(2, 0, 0), Set: 3}
+	c.Access(a)
+	c.Access(b)
+	if c.Contains(a) {
+		t.Error("direct-mapped cache retained both conflicting lines")
+	}
+	// Ping-pong: every access misses.
+	before := c.Stats().Misses
+	c.Access(a)
+	c.Access(b)
+	c.Access(a)
+	if got := c.Stats().Misses - before; got != 3 {
+		t.Errorf("conflict misses = %d, want 3", got)
+	}
+}
+
+func TestFullyAssociativeNoConflicts(t *testing.T) {
+	// 8-line fully associative cache: any 8 tags coexist regardless of
+	// their set hashes.
+	c := MustNewL1Assoc(8*L1LineBytes, 8)
+	refs := make([]L1Ref, 8)
+	for i := range refs {
+		refs[i] = L1Ref{Tag: PackTag(uint32(i), 7, 7), Set: uint32(i * 977)}
+		c.Access(refs[i])
+	}
+	for i, r := range refs {
+		if !c.Contains(r) {
+			t.Errorf("line %d missing from fully associative cache", i)
+		}
+	}
+}
+
+func TestHigherAssociativityNeverHurtsOnLoopingPattern(t *testing.T) {
+	// A cyclic pattern over 24 lines mapping into few sets: hit rate
+	// must be non-decreasing in associativity for this LRU-friendly...
+	// actually cyclic patterns are LRU-adversarial; use a working-set
+	// pattern with locality instead: random walk over 20 hot lines.
+	mkRefs := func() []L1Ref {
+		state := uint64(12345)
+		refs := make([]L1Ref, 20000)
+		hot := 0
+		for i := range refs {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			if state%8 == 0 {
+				hot = int(state/8) % 40
+			}
+			line := (hot + int(state%4)) % 40
+			refs[i] = L1Ref{
+				Tag: PackTag(uint32(line), 0, 0),
+				Set: uint32(line),
+			}
+		}
+		return refs
+	}
+	rates := map[int]float64{}
+	for _, ways := range []int{1, 2, 4} {
+		c := MustNewL1Assoc(2048, ways)
+		for _, r := range mkRefs() {
+			c.Access(r)
+		}
+		rates[ways] = c.Stats().HitRate()
+	}
+	if rates[2] < rates[1]-0.02 || rates[4] < rates[2]-0.02 {
+		t.Errorf("associativity hurt hit rate: %v", rates)
+	}
+}
+
+func TestL1LRUAcrossManyAccesses(t *testing.T) {
+	// lastUse ordering must be exact: touch a, b, c, a; fill d -> b is
+	// the victim.
+	c := MustNewL1Assoc(4*L1LineBytes, 4)
+	mk := func(id uint32) L1Ref { return L1Ref{Tag: PackTag(id, 0, 0), Set: 0} }
+	c.Access(mk(1))
+	c.Access(mk(2))
+	c.Access(mk(3))
+	c.Access(mk(1))
+	c.Access(mk(4)) // fills the remaining way
+	c.Access(mk(5)) // evicts 2 (oldest use)
+	if c.Contains(mk(2)) {
+		t.Error("LRU line 2 survived")
+	}
+	for _, id := range []uint32{1, 3, 4, 5} {
+		if !c.Contains(mk(id)) {
+			t.Errorf("line %d missing", id)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+func newTestL2(t *testing.T, sizeBytes int, layout texture.TileLayout, entries uint32) *L2Cache {
+	t.Helper()
+	c, err := NewL2(L2Config{SizeBytes: sizeBytes, Layout: layout, Policy: Clock}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewL2Capacity(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4} // 1 KB blocks
+	c := newTestL2(t, 2*1024*1024, layout, 100)
+	if got := c.NumBlocks(); got != 2048 {
+		t.Errorf("NumBlocks = %d, want 2048", got)
+	}
+}
+
+func TestNewL2Rejects(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	if _, err := NewL2(L2Config{SizeBytes: 1000, Layout: layout}, 10); err == nil {
+		t.Error("non-multiple size accepted")
+	}
+	if _, err := NewL2(L2Config{SizeBytes: 0, Layout: layout}, 10); err == nil {
+		t.Error("zero size accepted")
+	}
+	bad := texture.TileLayout{L2Size: 4, L1Size: 8}
+	if _, err := NewL2(L2Config{SizeBytes: 1 << 20, Layout: bad}, 10); err == nil {
+		t.Error("invalid layout accepted")
+	}
+	// 64x64 over 4x4 would need 256 sector bits.
+	huge := texture.TileLayout{L2Size: 64, L1Size: 4}
+	if _, err := NewL2(L2Config{SizeBytes: 1 << 20, Layout: huge}, 10); err == nil {
+		t.Error("oversized sector vector accepted")
+	}
+}
+
+func TestL2SectorMappingTransitions(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	c := newTestL2(t, 16*1024, layout, 64)
+
+	// Cold access: full miss.
+	if got := c.Access(7, 3); got != L2FullMiss {
+		t.Fatalf("first access = %v, want full-miss", got)
+	}
+	// Same sub-block again: full hit.
+	if got := c.Access(7, 3); got != L2FullHit {
+		t.Fatalf("repeat access = %v, want full-hit", got)
+	}
+	// Different sub-block of the same virtual block: partial hit.
+	if got := c.Access(7, 4); got != L2PartialHit {
+		t.Fatalf("sibling sub-block = %v, want partial-hit", got)
+	}
+	// And that sub-block is now resident.
+	if got := c.Access(7, 4); got != L2FullHit {
+		t.Fatalf("repeat sibling = %v, want full-hit", got)
+	}
+	s := c.Stats()
+	if s.FullHits != 2 || s.PartialHits != 1 || s.FullMisses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.Accesses(); got != 4 {
+		t.Errorf("Accesses = %d, want 4", got)
+	}
+}
+
+func TestL2DistinctBlocksAllocateDistinctPhysical(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	c := newTestL2(t, 16*1024, layout, 64) // 16 physical blocks
+	for i := uint32(0); i < 16; i++ {
+		if got := c.Access(i, 0); got != L2FullMiss {
+			t.Fatalf("block %d: %v, want full-miss", i, got)
+		}
+	}
+	if got := c.ResidentBlocks(); got != 16 {
+		t.Errorf("ResidentBlocks = %d, want 16", got)
+	}
+	// All sixteen must still be resident (no premature eviction).
+	for i := uint32(0); i < 16; i++ {
+		if !c.Contains(i, 0) {
+			t.Errorf("block %d evicted while capacity remained", i)
+		}
+	}
+	if got := c.Stats().Evictions; got != 0 {
+		t.Errorf("Evictions = %d, want 0", got)
+	}
+}
+
+func TestL2EvictionOnOverflow(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	c := newTestL2(t, 4*1024, layout, 64) // 4 physical blocks
+	for i := uint32(0); i < 5; i++ {
+		c.Access(i, 0)
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+	if got := c.ResidentBlocks(); got != 4 {
+		t.Errorf("ResidentBlocks = %d, want 4", got)
+	}
+	// The evicted virtual block must re-miss in full.
+	evicted := -1
+	for i := uint32(0); i < 5; i++ {
+		if !c.Contains(i, 0) {
+			evicted = int(i)
+		}
+	}
+	if evicted < 0 {
+		t.Fatal("no block was evicted")
+	}
+	if got := c.Access(uint32(evicted), 0); got != L2FullMiss {
+		t.Errorf("evicted block re-access = %v, want full-miss", got)
+	}
+}
+
+func TestL2EvictionClearsSector(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4} // 4 sub-blocks, 256B blocks
+	c := newTestL2(t, 2*256, layout, 64)               // 2 physical blocks
+	c.Access(0, 0)
+	c.Access(0, 1) // two sectors of block 0
+	c.Access(1, 0)
+	c.Access(2, 0) // evicts one of 0 or 1 (clock order)
+	// Whichever was evicted, a subsequent access to a previously loaded
+	// sector of an evicted block must be a full miss, not a stale hit.
+	for pt := uint32(0); pt <= 1; pt++ {
+		if !c.Contains(pt, 0) {
+			if got := c.Access(pt, 0); got != L2FullMiss {
+				t.Errorf("stale sector on pt %d: %v, want full-miss", pt, got)
+			}
+		}
+	}
+}
+
+func TestL2ClockApproximatesLRU(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4}
+	c := newTestL2(t, 3*256, layout, 64) // 3 physical blocks
+	c.Access(10, 0)
+	c.Access(11, 0)
+	c.Access(12, 0)
+	// Re-touch 10 and 11, leaving 12's recency oldest in clock terms
+	// (all actives set, but the hand will clear and pass 10, 11, 12 in
+	// order — with all active the first inactive found after clearing is
+	// the hand start, so behaviour is FIFO-like; we only require that
+	// SOME block is evicted and counters advance).
+	c.Access(10, 0)
+	c.Access(11, 0)
+	before := c.Stats().Evictions
+	c.Access(13, 0)
+	if got := c.Stats().Evictions; got != before+1 {
+		t.Errorf("Evictions = %d, want %d", got, before+1)
+	}
+	if c.Stats().MaxSearch < 1 {
+		t.Error("victim search recorded no steps")
+	}
+}
+
+func TestL2NoSectorMapping(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	c, err := NewL2(L2Config{
+		SizeBytes: 16 * 1024, Layout: layout, Policy: Clock, NoSectorMapping: true,
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Access(3, 0); got != L2FullMiss {
+		t.Fatalf("first = %v", got)
+	}
+	// Without sector mapping the whole block downloads at once, so every
+	// other sub-block is already resident.
+	for sub := uint8(1); sub < 16; sub++ {
+		if got := c.Access(3, sub); got != L2FullHit {
+			t.Fatalf("sub %d = %v, want full-hit", sub, got)
+		}
+	}
+}
+
+func TestL2SixtyFourSubBlocks(t *testing.T) {
+	// 32x32 over 4x4 uses the full 64-bit sector vector.
+	layout := texture.TileLayout{L2Size: 32, L1Size: 4}
+	c := newTestL2(t, 8*4096, layout, 16)
+	if got := c.Access(0, 0); got != L2FullMiss {
+		t.Fatalf("first = %v", got)
+	}
+	for sub := uint8(1); sub < 64; sub++ {
+		if got := c.Access(0, sub); got != L2PartialHit {
+			t.Fatalf("sub %d first = %v, want partial-hit", sub, got)
+		}
+	}
+	for sub := uint8(0); sub < 64; sub++ {
+		if got := c.Access(0, sub); got != L2FullHit {
+			t.Fatalf("sub %d repeat = %v, want full-hit", sub, got)
+		}
+	}
+}
+
+func TestL2DeleteTexture(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	c := newTestL2(t, 16*1024, layout, 64)
+	c.Access(5, 0)
+	c.Access(6, 0)
+	c.Access(20, 0)
+	c.DeleteTexture(5, 2) // deallocate entries 5 and 6
+	if c.Contains(5, 0) || c.Contains(6, 0) {
+		t.Error("deleted texture blocks still resident")
+	}
+	if !c.Contains(20, 0) {
+		t.Error("unrelated block lost")
+	}
+	if got := c.ResidentBlocks(); got != 1 {
+		t.Errorf("ResidentBlocks = %d, want 1", got)
+	}
+	// Freed physical blocks must be reusable without evicting block 20.
+	c.Access(7, 0)
+	c.Access(8, 0)
+	if !c.Contains(20, 0) {
+		t.Error("block 20 evicted while freed blocks existed")
+	}
+}
+
+func TestL2StatsRates(t *testing.T) {
+	s := L2Stats{FullHits: 6, PartialHits: 3, FullMisses: 1}
+	if got := s.FullHitRate(); got != 0.6 {
+		t.Errorf("FullHitRate = %v", got)
+	}
+	if got := s.PartialHitRate(); got != 0.3 {
+		t.Errorf("PartialHitRate = %v", got)
+	}
+	var zero L2Stats
+	if zero.FullHitRate() != 0 || zero.PartialHitRate() != 0 {
+		t.Error("zero stats rates nonzero")
+	}
+}
+
+func TestL2ResultString(t *testing.T) {
+	if L2FullHit.String() != "full-hit" || L2PartialHit.String() != "partial-hit" ||
+		L2FullMiss.String() != "full-miss" {
+		t.Error("unexpected L2Result strings")
+	}
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyKindString(t *testing.T) {
+	if Clock.String() != "clock" || TrueLRU.String() != "lru" || Random.String() != "random" {
+		t.Error("unexpected policy names")
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	p := newClockPolicy(4)
+	// Touch 0 and 1; hand at 0. Victim search clears 0, 1 and lands on 2.
+	p.Touch(0)
+	p.Touch(1)
+	v, searched := p.Victim()
+	if v != 2 {
+		t.Errorf("victim = %d, want 2", v)
+	}
+	if searched != 3 {
+		t.Errorf("searched = %d, want 3", searched)
+	}
+	// Next victim continues from the hand (3, inactive).
+	v, _ = p.Victim()
+	if v != 3 {
+		t.Errorf("second victim = %d, want 3", v)
+	}
+}
+
+func TestClockAllActiveTerminates(t *testing.T) {
+	p := newClockPolicy(8)
+	for i := 0; i < 8; i++ {
+		p.Touch(i)
+	}
+	v, searched := p.Victim()
+	// With every bit set the hand clears a full revolution and evicts
+	// where it started.
+	if v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+	if searched != 9 {
+		t.Errorf("searched = %d, want 9", searched)
+	}
+}
+
+func TestClockBoundedSearch(t *testing.T) {
+	// Property: a victim search never exceeds n+1 steps.
+	p := newClockPolicy(16)
+	f := func(touches []uint8) bool {
+		for _, b := range touches {
+			p.Touch(int(b) % 16)
+		}
+		_, searched := p.Victim()
+		return searched <= 17
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUExactOrder(t *testing.T) {
+	p := newLRUPolicy(4)
+	p.Touch(2)
+	p.Touch(0)
+	p.Touch(3)
+	p.Touch(1)
+	// LRU order is now 2, 0, 3, 1 (least to most recent).
+	for _, want := range []int{2, 0, 3, 1} {
+		v, searched := p.Victim()
+		if v != want {
+			t.Fatalf("victim = %d, want %d", v, want)
+		}
+		if searched != 1 {
+			t.Errorf("LRU search cost = %d, want 1", searched)
+		}
+		p.Touch(v) // simulate reallocation to keep order deterministic
+	}
+}
+
+func TestLRURefreshPreventsEviction(t *testing.T) {
+	p := newLRUPolicy(3)
+	p.Touch(0)
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(0) // refresh 0: LRU is now 1
+	v, _ := p.Victim()
+	if v != 1 {
+		t.Errorf("victim = %d, want 1", v)
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	p := newLRUPolicy(3)
+	p.Touch(0)
+	p.Touch(1)
+	p.Touch(2)
+	p.Reset(2) // deallocate most recent: becomes preferred victim
+	v, _ := p.Victim()
+	if v != 2 {
+		t.Errorf("victim = %d, want 2", v)
+	}
+}
+
+func TestLRUAgainstReferenceModel(t *testing.T) {
+	// Drive the linked-list LRU and a simple slice-based reference model
+	// with the same access stream; victims must agree.
+	const n = 8
+	p := newLRUPolicy(n)
+	ref := make([]int, n) // ref[0] = least recent
+	for i := range ref {
+		ref[i] = i
+	}
+	refTouch := func(b int) {
+		for i, v := range ref {
+			if v == b {
+				copy(ref[i:], ref[i+1:])
+				ref[n-1] = b
+				return
+			}
+		}
+	}
+	stream := []int{3, 1, 4, 1, 5, 2, 6, 5, 3, 7, 0, 0, 2, 4, 6, 1, 3}
+	for _, b := range stream {
+		p.Touch(b)
+		refTouch(b)
+	}
+	for i := 0; i < n; i++ {
+		v, _ := p.Victim()
+		if v != ref[0] {
+			t.Fatalf("victim %d = %d, reference says %d", i, v, ref[0])
+		}
+		p.Touch(v)
+		refTouch(v)
+	}
+}
+
+func TestRandomPolicyInRangeAndDeterministic(t *testing.T) {
+	a := newRandomPolicy(7)
+	b := newRandomPolicy(7)
+	for i := 0; i < 100; i++ {
+		va, _ := a.Victim()
+		vb, _ := b.Victim()
+		if va != vb {
+			t.Fatal("random policy not deterministic across instances")
+		}
+		if va < 0 || va >= 7 {
+			t.Fatalf("victim %d out of range", va)
+		}
+	}
+}
+
+func TestNewPolicyDispatch(t *testing.T) {
+	if NewPolicy(Clock, 4).Name() != "clock" {
+		t.Error("Clock dispatch")
+	}
+	if NewPolicy(TrueLRU, 4).Name() != "lru" {
+		t.Error("TrueLRU dispatch")
+	}
+	if NewPolicy(Random, 4).Name() != "random" {
+		t.Error("Random dispatch")
+	}
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"texcache/internal/texture"
+)
+
+// TestL2InvariantsUnderRandomStreams drives the L2 cache with randomized
+// access streams and checks structural invariants after every access:
+// resident blocks never exceed capacity, Contains agrees with the access
+// classification, and counters balance.
+func TestL2InvariantsUnderRandomStreams(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4} // 4 sub-blocks
+	f := func(stream []uint16) bool {
+		c := MustNewL2(L2Config{
+			SizeBytes: 8 * 256, // 8 physical blocks
+			Layout:    layout,
+			Policy:    Clock,
+		}, 64)
+		for _, s := range stream {
+			pt := uint32(s) % 64
+			sub := uint8(s>>6) % 4
+			wasResident := c.Contains(pt, sub)
+			res := c.Access(pt, sub)
+			// Classification must agree with prior residency.
+			if wasResident && res != L2FullHit {
+				return false
+			}
+			if !wasResident && res == L2FullHit {
+				return false
+			}
+			// After any access the block is resident.
+			if !c.Contains(pt, sub) {
+				return false
+			}
+			if c.ResidentBlocks() > 8 {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Accesses() == int64(len(stream))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestL2PoliciesAgreeOnCapacityMisses: whatever the policy, the number of
+// full misses for a stream touching each block exactly once must equal the
+// number of distinct blocks (no spurious hits), and with capacity for the
+// whole stream no evictions may occur.
+func TestL2PoliciesAgreeOnCapacityMisses(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4}
+	for _, kind := range []PolicyKind{Clock, TrueLRU, Random} {
+		c := MustNewL2(L2Config{
+			SizeBytes: 64 * 256,
+			Layout:    layout,
+			Policy:    kind,
+		}, 64)
+		for pt := uint32(0); pt < 64; pt++ {
+			if got := c.Access(pt, 0); got != L2FullMiss {
+				t.Errorf("%v: first touch of %d = %v", kind, pt, got)
+			}
+		}
+		st := c.Stats()
+		if st.FullMisses != 64 || st.Evictions != 0 {
+			t.Errorf("%v: misses %d evictions %d, want 64/0",
+				kind, st.FullMisses, st.Evictions)
+		}
+		// Second pass: all hits, regardless of policy.
+		for pt := uint32(0); pt < 64; pt++ {
+			if got := c.Access(pt, 0); got != L2FullHit {
+				t.Errorf("%v: second touch of %d = %v", kind, pt, got)
+			}
+		}
+	}
+}
+
+// TestLRUNeverWorseThanRandom verifies on a looping reference pattern with
+// reuse that exact LRU achieves at least as many hits as random.
+func TestLRUNeverWorseThanRandom(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4}
+	run := func(kind PolicyKind) int64 {
+		c := MustNewL2(L2Config{
+			SizeBytes: 16 * 256, // 16 blocks
+			Layout:    layout,
+			Policy:    kind,
+		}, 64)
+		// A sliding window of 12 blocks with heavy reuse.
+		for i := 0; i < 4000; i++ {
+			base := uint32(i/200) % 40
+			pt := (base + uint32(i%12)) % 64
+			c.Access(pt, 0)
+		}
+		return c.Stats().FullHits
+	}
+	if lru, rnd := run(TrueLRU), run(Random); lru < rnd {
+		t.Errorf("LRU hits %d < random hits %d on a reuse-heavy stream", lru, rnd)
+	}
+}
+
+// TestHierarchyByteConservation: host bytes with L2 equal 64B times
+// (partial hits + misses) for arbitrary streams with sector mapping.
+func TestHierarchyByteConservation(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	f := func(stream []uint32) bool {
+		l2 := MustNewL2(L2Config{
+			SizeBytes: 8 << 10, Layout: layout, Policy: Clock,
+		}, 256)
+		h := &Hierarchy{L1: MustNewL1(2048), L2: l2}
+		for _, s := range stream {
+			pt := s % 256
+			sub := uint8(s>>8) % 16
+			h.Access(Ref{
+				L1:      L1Ref{Tag: PackTag(0, pt, uint16(sub)), Set: s},
+				PTIndex: pt,
+				Sub:     sub,
+			})
+		}
+		c := h.Counters()
+		wantHost := (c.L2.PartialHits + c.L2.FullMisses) * L1LineBytes
+		wantLocal := c.L2.FullHits * L1LineBytes
+		return c.HostBytes == wantHost && c.L2ReadBytes == wantLocal &&
+			c.L2WriteBytes == c.HostBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockEventuallyEvictsEverything: under continuous conflict pressure
+// every physical block gets recycled (no starvation/leak).
+func TestClockEventuallyEvictsEverything(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 8, L1Size: 4}
+	c := MustNewL2(L2Config{
+		SizeBytes: 4 * 256, Layout: layout, Policy: Clock,
+	}, 1024)
+	for pt := uint32(0); pt < 1024; pt++ {
+		c.Access(pt, 0)
+	}
+	st := c.Stats()
+	if st.FullMisses != 1024 {
+		t.Errorf("misses = %d, want 1024 (no reuse stream)", st.FullMisses)
+	}
+	if st.Evictions != 1024-4 {
+		t.Errorf("evictions = %d, want %d", st.Evictions, 1024-4)
+	}
+	if got := c.ResidentBlocks(); got != 4 {
+		t.Errorf("resident = %d, want 4", got)
+	}
+}

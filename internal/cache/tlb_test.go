@@ -1,0 +1,83 @@
+package cache
+
+import "testing"
+
+func TestTLBHitAfterInsert(t *testing.T) {
+	tlb := NewTLB(4)
+	if tlb.Lookup(10) {
+		t.Fatal("cold lookup hit")
+	}
+	if !tlb.Lookup(10) {
+		t.Fatal("warm lookup missed")
+	}
+	s := tlb.Stats()
+	if s.Lookups != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+}
+
+func TestTLBRoundRobinReplacement(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Lookup(1) // slot 0
+	tlb.Lookup(2) // slot 1
+	tlb.Lookup(3) // replaces slot 0 (round robin), evicting 1
+	if tlb.Lookup(1) {
+		t.Error("evicted entry 1 still present")
+	}
+	// That miss re-inserted 1 at slot 1, evicting 2; slot 0 still holds 3.
+	if tlb.Lookup(2) {
+		t.Error("entry 2 should have been replaced")
+	}
+	// And that miss re-inserted 2 at slot 0, evicting 3; 1 remains.
+	if !tlb.Lookup(1) {
+		t.Error("entry 1 lost from slot 1")
+	}
+}
+
+func TestTLBSingleEntry(t *testing.T) {
+	tlb := NewTLB(1)
+	tlb.Lookup(5)
+	if !tlb.Lookup(5) {
+		t.Error("single-entry TLB lost its entry")
+	}
+	tlb.Lookup(6)
+	if tlb.Lookup(5) {
+		t.Error("single-entry TLB retained two entries")
+	}
+}
+
+func TestTLBZeroEntries(t *testing.T) {
+	tlb := NewTLB(0)
+	for i := uint32(0); i < 10; i++ {
+		if tlb.Lookup(i % 2) {
+			t.Fatal("zero-entry TLB hit")
+		}
+	}
+	if got := tlb.Stats().Lookups; got != 10 {
+		t.Errorf("lookups = %d", got)
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Lookup(10)
+	tlb.Lookup(11)
+	tlb.Lookup(20)
+	tlb.Invalidate(10, 2)
+	if tlb.Lookup(10) || tlb.Lookup(11) {
+		t.Error("invalidated entries still hit")
+	}
+	if !tlb.Lookup(20) {
+		t.Error("unrelated entry lost")
+	}
+}
+
+func TestTLBStatsZero(t *testing.T) {
+	var s TLBStats
+	if s.HitRate() != 0 {
+		t.Error("zero stats hit rate nonzero")
+	}
+}

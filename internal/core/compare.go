@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"texcache/internal/cache"
+	"texcache/internal/raster"
+	"texcache/internal/scene"
+	"texcache/internal/stats"
+	"texcache/internal/texture"
+	"texcache/internal/workload"
+)
+
+// CacheSpec names one cache configuration in a comparison run.
+type CacheSpec struct {
+	Name    string
+	L1Bytes int
+	// L1Ways is the L1 associativity; 0 means the paper's 2-way.
+	L1Ways int
+	// L2 is nil for the pull architecture.
+	L2         *cache.L2Config
+	TLBEntries int
+}
+
+// Comparison holds the results of simulating several cache configurations
+// against one rendered reference stream.
+type Comparison struct {
+	Workload string
+	Render   Config
+	// Results is parallel to the specs passed to RunComparison; the
+	// Config field of each Results reflects its spec.
+	Results []*Results
+	// Pixels per frame (shared across specs — same stream).
+	FramePixels []int64
+}
+
+// layoutXlate caches per-texture address translation for one L2 layout.
+type layoutXlate struct {
+	layout  texture.TileLayout
+	tilings []*texture.Tiling
+	starts  []uint32
+	// per-texel scratch, refreshed by multiSink.Texel.
+	pt  uint32
+	sub uint8
+}
+
+// specState pairs a hierarchy with its layout translator index.
+type specState struct {
+	hier      *cache.Hierarchy
+	layoutIdx int // -1 when no L2
+}
+
+// multiSink fans one texel reference stream out to several hierarchies,
+// translating each distinct L2 layout only once per texel.
+type multiSink struct {
+	canon   []*texture.Tiling
+	layouts []*layoutXlate
+	specs   []specState
+	collect *stats.Collector
+}
+
+func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
+	a := s.canon[tid].Addr(u, v, m)
+	l1 := cache.L1Ref{
+		Tag: cache.PackTag(uint32(tid), a.L2, a.L1),
+		Set: cache.SetHash(int32(u>>2), int32(v>>2), uint8(m), uint32(tid)),
+	}
+	for _, lx := range s.layouts {
+		b := lx.tilings[tid].Addr(u, v, m)
+		lx.pt = lx.starts[tid] + b.L2
+		lx.sub = uint8(b.L1)
+	}
+	for i := range s.specs {
+		sp := &s.specs[i]
+		ref := cache.Ref{L1: l1}
+		if sp.layoutIdx >= 0 {
+			lx := s.layouts[sp.layoutIdx]
+			ref.PTIndex = lx.pt
+			ref.Sub = lx.sub
+		}
+		sp.hier.Access(ref)
+	}
+	if s.collect != nil {
+		s.collect.Texel(tid, u, v, m)
+	}
+}
+
+// RunComparison renders the workload once under render (resolution, frame
+// count, filter, z-order) and simulates every spec against the identical
+// texel reference stream. render's own cache fields are ignored. When
+// render.StatLayouts is non-empty, working-set statistics are gathered once
+// and attached to the first spec's results.
+func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Comparison, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no cache specs")
+	}
+	if render.Frames <= 0 {
+		render.Frames = w.Frames
+	}
+	if render.L1Bytes == 0 {
+		render.L1Bytes = 2 * 1024 // irrelevant; satisfies validation
+	}
+	if err := render.Validate(); err != nil {
+		return nil, err
+	}
+	set := w.Scene.Textures
+	set.MustPrepare(texture.CanonicalL1)
+
+	sink := &multiSink{canon: set.Tilings(texture.CanonicalL1)}
+	layoutIndex := map[texture.TileLayout]int{}
+
+	cmp := &Comparison{Workload: w.Name, Render: render}
+	for _, spec := range specs {
+		ways := spec.L1Ways
+		if ways == 0 {
+			ways = cache.L1Ways
+		}
+		l1, err := cache.NewL1Assoc(spec.L1Bytes, ways)
+		if err != nil {
+			return nil, fmt.Errorf("core: spec %q: %w", spec.Name, err)
+		}
+		hier := &cache.Hierarchy{L1: l1}
+		layoutIdx := -1
+		if spec.L2 != nil {
+			l2cfg := *spec.L2
+			l2cfg.Layout.L1Size = 4
+			idx, ok := layoutIndex[l2cfg.Layout]
+			if !ok {
+				set.MustPrepare(l2cfg.Layout)
+				starts := make([]uint32, set.Len())
+				for i := range starts {
+					starts[i] = set.Start(l2cfg.Layout, texture.ID(i))
+				}
+				idx = len(sink.layouts)
+				sink.layouts = append(sink.layouts, &layoutXlate{
+					layout:  l2cfg.Layout,
+					tilings: set.Tilings(l2cfg.Layout),
+					starts:  starts,
+				})
+				layoutIndex[l2cfg.Layout] = idx
+			}
+			layoutIdx = idx
+			l2, err := cache.NewL2(l2cfg, set.PageTableEntries(l2cfg.Layout))
+			if err != nil {
+				return nil, fmt.Errorf("core: spec %q: %w", spec.Name, err)
+			}
+			hier.L2 = l2
+			if spec.TLBEntries > 0 {
+				hier.TLB = cache.NewTLB(spec.TLBEntries)
+			}
+		}
+		sink.specs = append(sink.specs, specState{hier: hier, layoutIdx: layoutIdx})
+
+		cfg := render
+		cfg.L1Bytes = spec.L1Bytes
+		cfg.L1Ways = spec.L1Ways
+		cfg.L2 = spec.L2
+		cfg.TLBEntries = spec.TLBEntries
+		cmp.Results = append(cmp.Results, &Results{Workload: w.Name, Config: cfg})
+	}
+
+	if len(render.StatLayouts) > 0 {
+		collect, err := stats.NewCollector(set, render.StatLayouts...)
+		if err != nil {
+			return nil, err
+		}
+		sink.collect = collect
+	}
+
+	rast, err := raster.New(raster.Config{
+		Width: render.Width, Height: render.Height,
+		Mode:           render.Mode,
+		ZBeforeTexture: render.ZBeforeTexture,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rast.SetSink(sink)
+	pipeline := scene.NewPipeline(rast)
+
+	aspect := float64(render.Width) / float64(render.Height)
+	prev := make([]cache.Counters, len(specs))
+	for f := 0; f < render.Frames; f++ {
+		if sink.collect != nil {
+			sink.collect.BeginFrame()
+		}
+		pst := pipeline.RenderFrame(w.Scene, w.Camera(aspect, f, render.Frames))
+		cmp.FramePixels = append(cmp.FramePixels, rast.Pixels())
+		var sf *stats.Frame
+		if sink.collect != nil {
+			sink.collect.AddPixels(rast.Pixels())
+			v := sink.collect.EndFrame()
+			sf = &v
+		}
+		for i := range sink.specs {
+			cur := sink.specs[i].hier.Counters()
+			fr := FrameResult{
+				Pipeline: pst,
+				Pixels:   rast.Pixels(),
+				Counters: cur.Sub(prev[i]),
+			}
+			if i == 0 {
+				fr.Stats = sf
+			}
+			prev[i] = cur
+			cmp.Results[i].Frames = append(cmp.Results[i].Frames, fr)
+		}
+	}
+	for i := range sink.specs {
+		cmp.Results[i].Totals = sink.specs[i].hier.Counters()
+	}
+	if sink.collect != nil {
+		sum := stats.Summarize(sink.collect.Frames(),
+			int64(render.Width)*int64(render.Height))
+		cmp.Results[0].Summary = &sum
+	}
+	return cmp, nil
+}

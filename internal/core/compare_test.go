@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"texcache/internal/cache"
+	"texcache/internal/texture"
+	"texcache/internal/workload"
+)
+
+func l2spec(name string, l1, mb int, tlb int) CacheSpec {
+	return CacheSpec{
+		Name:    name,
+		L1Bytes: l1,
+		L2: &cache.L2Config{
+			SizeBytes: mb << 20,
+			Layout:    texture.TileLayout{L2Size: 16, L1Size: 4},
+			Policy:    cache.Clock,
+		},
+		TLBEntries: tlb,
+	}
+}
+
+func TestRunComparisonMatchesIndividualRuns(t *testing.T) {
+	render := testCfg()
+	render.Frames = 6
+
+	specs := []CacheSpec{
+		{Name: "pull-2k", L1Bytes: 2 * 1024},
+		l2spec("l2-2m", 2*1024, 2, 16),
+	}
+	cmp, err := RunComparison(workload.City(), render, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 2 {
+		t.Fatalf("results = %d", len(cmp.Results))
+	}
+
+	// Each spec must match an individually simulated run exactly.
+	pullCfg := render
+	pullCfg.L1Bytes = 2 * 1024
+	pull, err := Run(workload.City(), pullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Results[0].Totals != pull.Totals {
+		t.Errorf("pull totals differ:\ncomparison %+v\nindividual %+v",
+			cmp.Results[0].Totals, pull.Totals)
+	}
+
+	l2Cfg := withL2(render, 2)
+	l2run, err := Run(workload.City(), l2Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Results[1].Totals != l2run.Totals {
+		t.Errorf("l2 totals differ:\ncomparison %+v\nindividual %+v",
+			cmp.Results[1].Totals, l2run.Totals)
+	}
+}
+
+func TestRunComparisonSharedLayouts(t *testing.T) {
+	render := testCfg()
+	render.Frames = 4
+	specs := []CacheSpec{
+		l2spec("a", 2*1024, 2, 0),
+		l2spec("b", 2*1024, 4, 0),
+		l2spec("c", 16*1024, 2, 0),
+	}
+	cmp, err := RunComparison(workload.Village(), render, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger L2 at same L1 must not increase host traffic.
+	if cmp.Results[1].Totals.HostBytes > cmp.Results[0].Totals.HostBytes {
+		t.Error("4MB L2 worse than 2MB")
+	}
+	// Larger L1 at same L2 must not increase L1 misses.
+	if cmp.Results[2].Totals.L1.Misses > cmp.Results[0].Totals.L1.Misses {
+		t.Error("16KB L1 missed more than 2KB")
+	}
+	// All specs saw the same reference stream.
+	if cmp.Results[0].Totals.L1.Accesses != cmp.Results[2].Totals.L1.Accesses {
+		t.Error("specs saw different access counts")
+	}
+}
+
+func TestRunComparisonWithStats(t *testing.T) {
+	render := testCfg()
+	render.Frames = 4
+	render.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
+	cmp, err := RunComparison(workload.Village(), render,
+		[]CacheSpec{{Name: "pull", L1Bytes: 2 * 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Results[0].Summary == nil {
+		t.Fatal("stats not collected")
+	}
+	if len(cmp.FramePixels) != 4 {
+		t.Errorf("frame pixels = %d entries", len(cmp.FramePixels))
+	}
+}
+
+func TestRunComparisonErrors(t *testing.T) {
+	if _, err := RunComparison(workload.Village(), testCfg(), nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	bad := []CacheSpec{{Name: "bad", L1Bytes: 100}}
+	if _, err := RunComparison(workload.Village(), testCfg(), bad); err == nil {
+		t.Error("invalid L1 size accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"texcache/internal/push"
+	"texcache/internal/raster"
+	"texcache/internal/workload"
+)
+
+func TestRunPushThrashVsAmple(t *testing.T) {
+	render := Config{
+		Width: 256, Height: 192,
+		Frames: 8,
+		Mode:   raster.Point,
+	}
+	small, err := RunPush(workload.City(), render, push.Config{LocalBytes: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunPush(workload.City(), render, push.Config{LocalBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Frames) != 8 || len(big.Frames) != 8 {
+		t.Fatalf("frame counts: %d, %d", len(small.Frames), len(big.Frames))
+	}
+	// Undersized local memory must download more and evict; ample memory
+	// must never evict.
+	if small.Totals.DownloadBytes <= big.Totals.DownloadBytes {
+		t.Errorf("2MB downloads (%d) <= 64MB downloads (%d)",
+			small.Totals.DownloadBytes, big.Totals.DownloadBytes)
+	}
+	if small.Totals.Evictions == 0 {
+		t.Error("2MB push memory did not evict")
+	}
+	if big.Totals.Evictions != 0 {
+		t.Errorf("64MB push memory evicted %d times", big.Totals.Evictions)
+	}
+	// With ample memory, downloads equal the distinct textures touched.
+	if big.Totals.Downloads > int64(workload.City().Scene.Textures.Len()) {
+		t.Errorf("downloads %d exceed texture count", big.Totals.Downloads)
+	}
+	// Per-frame deltas sum to totals.
+	var sum int64
+	for _, fr := range big.Frames {
+		sum += fr.DownloadBytes
+	}
+	if sum != big.Totals.DownloadBytes {
+		t.Errorf("frame deltas %d != totals %d", sum, big.Totals.DownloadBytes)
+	}
+	if big.AvgDownloadMBPerFrame() <= 0 {
+		t.Error("zero average download")
+	}
+}
+
+func TestRunPushValidatesConfig(t *testing.T) {
+	render := Config{Width: 0, Height: 10, Frames: 1, Mode: raster.Point}
+	if _, err := RunPush(workload.Village(), render,
+		push.Config{LocalBytes: 1 << 20}); err == nil {
+		t.Error("invalid render config accepted")
+	}
+	good := Config{Width: 64, Height: 48, Frames: 1, Mode: raster.Point}
+	if _, err := RunPush(workload.Village(), good,
+		push.Config{LocalBytes: 0}); err == nil {
+		t.Error("invalid push config accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"texcache/internal/cache"
+	"texcache/internal/raster"
+	"texcache/internal/scene"
+	"texcache/internal/stats"
+	"texcache/internal/texture"
+	"texcache/internal/trace"
+	"texcache/internal/workload"
+)
+
+// RecordTrace renders the workload once under cfg's resolution, frame
+// count and filter mode, writing the texel reference stream to w. Cache
+// settings in cfg are ignored — a trace captures references, not cache
+// behaviour.
+func RecordTrace(wk *workload.Workload, cfg Config, w io.Writer) (frames int, err error) {
+	if cfg.Frames <= 0 {
+		cfg.Frames = wk.Frames
+	}
+	rast, err := raster.New(raster.Config{
+		Width: cfg.Width, Height: cfg.Height,
+		Mode:           cfg.Mode,
+		ZBeforeTexture: cfg.ZBeforeTexture,
+	})
+	if err != nil {
+		return 0, err
+	}
+	tw := trace.NewWriter(w)
+	rast.SetSink(raster.SinkFunc(func(tid texture.ID, u, v, m int) {
+		tw.Texel(uint32(tid), u, v, m)
+	}))
+	pipeline := scene.NewPipeline(rast)
+	aspect := float64(cfg.Width) / float64(cfg.Height)
+	for f := 0; f < cfg.Frames; f++ {
+		tw.BeginFrame()
+		pipeline.RenderFrame(wk.Scene, wk.Camera(aspect, f, cfg.Frames))
+		tw.EndFrame(rast.Pixels())
+	}
+	if err := tw.Close(); err != nil {
+		return 0, err
+	}
+	return cfg.Frames, nil
+}
+
+// replayHandler adapts the cache hierarchy and collector to trace.Handler.
+type replayHandler struct {
+	sink    *addrSink
+	collect *stats.Collector
+	hier    *cache.Hierarchy
+	res     *Results
+	prev    cache.Counters
+}
+
+func (h *replayHandler) BeginFrame() {
+	if h.collect != nil {
+		h.collect.BeginFrame()
+	}
+}
+
+func (h *replayHandler) Texel(tid uint32, u, v, m int) {
+	h.sink.Texel(texture.ID(tid), u, v, m)
+}
+
+func (h *replayHandler) EndFrame(pixels int64) {
+	fr := FrameResult{Pixels: pixels}
+	if h.collect != nil {
+		h.collect.AddPixels(pixels)
+		sf := h.collect.EndFrame()
+		fr.Stats = &sf
+	}
+	cur := h.hier.Counters()
+	fr.Counters = cur.Sub(h.prev)
+	h.prev = cur
+	h.res.Frames = append(h.res.Frames, fr)
+}
+
+// ReplayTrace replays a recorded reference stream through the cache
+// hierarchy configured by cfg. set must be the texture registry of the
+// workload that recorded the trace (texture IDs must agree). Rendering
+// parameters of cfg other than Width/Height (used for the working-set
+// summary's screen resolution) are ignored.
+func ReplayTrace(r io.Reader, set *texture.Set, cfg Config) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, sink, err := buildHierarchy(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var collect *stats.Collector
+	if len(cfg.StatLayouts) > 0 {
+		collect, err = stats.NewCollector(set, cfg.StatLayouts...)
+		if err != nil {
+			return nil, err
+		}
+		sink.collect = collect
+	}
+	res := &Results{Workload: "trace", Config: cfg}
+	h := &replayHandler{sink: sink, collect: collect, hier: hier, res: res}
+	if _, err := trace.Replay(r, h); err != nil {
+		return nil, fmt.Errorf("core: replay: %w", err)
+	}
+	res.Totals = hier.Counters()
+	if collect != nil {
+		sum := stats.Summarize(collect.Frames(), int64(cfg.Width)*int64(cfg.Height))
+		res.Summary = &sum
+	}
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"texcache/internal/model"
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+)
+
+// ExportCSV writes machine-readable per-frame series for every figure into
+// dir (created if needed), so the paper's plots can be regenerated with any
+// plotting tool. One file per figure:
+//
+//	fig3.csv                     W model grid
+//	fig4-<workload>.csv          minimum memory by architecture
+//	fig5-<workload>.csv          total vs new L2 memory
+//	fig6-<workload>.csv          minimum L1 bandwidth
+//	fig9-village.csv             L1 miss rate by cache size
+//	fig10-<workload>.csv         host bandwidth by configuration
+//	fig11-<workload>.csv         TLB hit rate by entries (averages)
+//
+// The export reuses the Context's memoized runs, computing any that are
+// missing.
+func (c *Context) ExportCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := c.exportFig3(dir); err != nil {
+		return err
+	}
+	for _, name := range []string{"village", "city"} {
+		if err := c.exportStatsFigs(dir, name); err != nil {
+			return err
+		}
+		if err := c.exportFig10(dir, name); err != nil {
+			return err
+		}
+		if err := c.exportFig11(dir, name); err != nil {
+			return err
+		}
+	}
+	return c.exportFig9(dir)
+}
+
+// writeCSV writes rows to dir/name, prepending the header.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func (c *Context) exportFig3(dir string) error {
+	header := []string{"width", "height", "depth", "utilization", "w_bytes"}
+	var rows [][]string
+	for _, p := range model.Fig3() {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Width), strconv.Itoa(p.Height),
+			ftoa(p.Depth), ftoa(p.Utilization), ftoa(p.W),
+		})
+	}
+	return writeCSV(dir, "fig3.csv", header, rows)
+}
+
+func (c *Context) exportStatsFigs(dir, name string) error {
+	res, err := c.statsRun(name)
+	if err != nil {
+		return err
+	}
+	l32 := texture.TileLayout{L2Size: 32, L1Size: 4}
+	l16 := texture.TileLayout{L2Size: 16, L1Size: 4}
+	l8 := texture.TileLayout{L2Size: 8, L1Size: 4}
+	t4 := texture.TileLayout{L2Size: 4, L1Size: 4}
+	t8 := texture.TileLayout{L2Size: 8, L1Size: 8}
+
+	var fig4, fig5, fig6 [][]string
+	for i, fr := range res.Frames {
+		s := fr.Stats
+		s32, _ := s.LayoutStats(l32)
+		s16, _ := s.LayoutStats(l16)
+		s8, _ := s.LayoutStats(l8)
+		st4, _ := s.LayoutStats(t4)
+		st8, _ := s.LayoutStats(t8)
+		fig4 = append(fig4, []string{
+			strconv.Itoa(i), itoa(s.HostLoadedBytes), itoa(s.PushBytes),
+			itoa(s32.MinBytes()), itoa(s16.MinBytes()), itoa(s8.MinBytes()),
+		})
+		fig5 = append(fig5, []string{
+			strconv.Itoa(i), itoa(s16.MinBytes()), itoa(s16.NewBytes()),
+		})
+		fig6 = append(fig6, []string{
+			strconv.Itoa(i),
+			itoa(st8.MinBytes()), itoa(st4.MinBytes()),
+			itoa(st8.NewBytes()), itoa(st4.NewBytes()),
+		})
+	}
+	if err := writeCSV(dir, "fig4-"+name+".csv",
+		[]string{"frame", "loaded_bytes", "push_min_bytes",
+			"l2_32x32_bytes", "l2_16x16_bytes", "l2_8x8_bytes"}, fig4); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, "fig5-"+name+".csv",
+		[]string{"frame", "total_bytes", "new_bytes"}, fig5); err != nil {
+		return err
+	}
+	return writeCSV(dir, "fig6-"+name+".csv",
+		[]string{"frame", "total_8x8_bytes", "total_4x4_bytes",
+			"new_8x8_bytes", "new_4x4_bytes"}, fig6)
+}
+
+func (c *Context) exportFig9(dir string) error {
+	cmp, err := c.sweep("village", raster.Trilinear)
+	if err != nil {
+		return err
+	}
+	header := []string{"frame"}
+	for _, name := range l1Sweep {
+		header = append(header, "miss_rate_"+name[len("pull-"):])
+	}
+	var rows [][]string
+	frames := len(cmp.Results[0].Frames)
+	for f := 0; f < frames; f++ {
+		row := []string{strconv.Itoa(f)}
+		for _, name := range l1Sweep {
+			fr := specResult(cmp, name).Frames[f]
+			row = append(row, ftoa(fr.Counters.L1.MissRate()))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, "fig9-village.csv", header, rows)
+}
+
+func (c *Context) exportFig10(dir, name string) error {
+	cmp, err := c.sweep(name, raster.Trilinear)
+	if err != nil {
+		return err
+	}
+	header := []string{"frame"}
+	for _, cfg := range bandwidthConfigs {
+		header = append(header, "host_bytes_"+cfg.spec)
+	}
+	var rows [][]string
+	frames := len(cmp.Results[0].Frames)
+	for f := 0; f < frames; f++ {
+		row := []string{strconv.Itoa(f)}
+		for _, cfg := range bandwidthConfigs {
+			fr := specResult(cmp, cfg.spec).Frames[f]
+			row = append(row, itoa(fr.Counters.HostBytes))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, "fig10-"+name+".csv", header, rows)
+}
+
+func (c *Context) exportFig11(dir, name string) error {
+	cmp, err := c.sweep(name, raster.Trilinear)
+	if err != nil {
+		return err
+	}
+	specs := []struct {
+		spec    string
+		entries int
+	}{
+		{"tlb-1", 1}, {"tlb-2", 2}, {"tlb-4", 4}, {"tlb-8", 8}, {"l2-2m", 16},
+	}
+	var rows [][]string
+	for _, ts := range specs {
+		res := specResult(cmp, ts.spec)
+		rows = append(rows, []string{
+			strconv.Itoa(ts.entries),
+			ftoa(res.Totals.TLB.HitRate()),
+		})
+	}
+	return writeCSV(dir, "fig11-"+name+".csv",
+		[]string{"entries", "hit_rate"}, rows)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestExportCSV(t *testing.T) {
+	c := ctx(t)
+	dir := t.TempDir()
+	if err := c.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig3.csv",
+		"fig4-village.csv", "fig4-city.csv",
+		"fig5-village.csv", "fig5-city.csv",
+		"fig6-village.csv", "fig6-city.csv",
+		"fig9-village.csv",
+		"fig10-village.csv", "fig10-city.csv",
+		"fig11-village.csv", "fig11-city.csv",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s unreadable: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s has no data rows", name)
+		}
+		// Every row matches the header width.
+		for i, r := range rows {
+			if len(r) != len(rows[0]) {
+				t.Fatalf("%s row %d has %d fields, want %d",
+					name, i, len(r), len(rows[0]))
+			}
+		}
+	}
+
+	// Spot-check fig10: per-frame host bytes for the pull config must be
+	// positive and larger than for the 2MB L2 config in aggregate.
+	f, _ := os.Open(filepath.Join(dir, "fig10-village.csv"))
+	rows, _ := csv.NewReader(f).ReadAll()
+	f.Close()
+	var pull, l2 int64
+	for _, r := range rows[1:] {
+		p, _ := strconv.ParseInt(r[2], 10, 64) // pull-2k column
+		q, _ := strconv.ParseInt(r[3], 10, 64) // l2-2m column
+		pull += p
+		l2 += q
+	}
+	if pull <= l2 || pull == 0 {
+		t.Errorf("fig10 aggregate: pull %d vs l2 %d", pull, l2)
+	}
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+)
+
+// sharedCtx memoizes the expensive sweeps across all tests in the package.
+var sharedCtx *Context
+
+func ctx(t *testing.T) *Context {
+	t.Helper()
+	if sharedCtx == nil {
+		sharedCtx = NewContext(Bench, &bytes.Buffer{})
+	}
+	sharedCtx.Out = &bytes.Buffer{}
+	return sharedCtx
+}
+
+func output(c *Context) string { return c.Out.(*bytes.Buffer).String() }
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Errorf("experiments = %d, want 19", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("table3"); !ok {
+		t.Error("ByID(table3) missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) found")
+	}
+	if got := len(IDs()); got != len(all) {
+		t.Errorf("IDs = %d", got)
+	}
+}
+
+func TestFig3AndTable4AreAnalytic(t *testing.T) {
+	c := ctx(t)
+	if err := c.Fig3(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(c)
+	// Exact analytic values from the paper.
+	if !strings.Contains(out, "128KB") {
+		t.Error("Table 4 missing the 32MB->128KB page table size")
+	}
+	if !strings.Contains(out, "0.25KB") {
+		t.Error("Table 4 missing the 2MB BRL active bits size")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	c := ctx(t)
+	if err := c.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.statsRun("village")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.statsRun("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Village is deeper than City (paper: 3.8 vs 1.9).
+	if v.Summary.DepthComplexity <= ci.Summary.DepthComplexity {
+		t.Errorf("depth complexity ordering: village %.2f <= city %.2f",
+			v.Summary.DepthComplexity, ci.Summary.DepthComplexity)
+	}
+	// City utilisation exceeds Village's (paper: 7.8 vs 4.7).
+	l16 := texture.TileLayout{L2Size: 16, L1Size: 4}
+	vu, _ := v.Summary.Layout(l16)
+	cu, _ := ci.Summary.Layout(l16)
+	if cu.Utilization <= vu.Utilization {
+		t.Errorf("utilisation ordering: city %.2f <= village %.2f",
+			cu.Utilization, vu.Utilization)
+	}
+	// Both reuse texels (utilisation > 1).
+	if vu.Utilization <= 1 || cu.Utilization <= 1 {
+		t.Errorf("utilisation not > 1: %v %v", vu.Utilization, cu.Utilization)
+	}
+}
+
+func TestFig4PushVsL2Ordering(t *testing.T) {
+	c := ctx(t)
+	if err := c.Fig4(); err != nil {
+		t.Fatal(err)
+	}
+	l16 := texture.TileLayout{L2Size: 16, L1Size: 4}
+	for _, name := range []string{"village", "city"} {
+		res, _ := c.statsRun(name)
+		s := res.Summary
+		ls, _ := s.Layout(l16)
+		// Headline Figure 4 finding: L2 needs several times less local
+		// memory than push.
+		if s.AvgPushBytes < 3*ls.AvgBytes {
+			t.Errorf("%s: push %.2fMB not >= 3x L2 %.2fMB",
+				name, s.AvgPushBytes/(1<<20), ls.AvgBytes/(1<<20))
+		}
+		// Tile-size ordering: 8x8 needs least memory, 32x32 most.
+		l8, _ := s.Layout(texture.TileLayout{L2Size: 8, L1Size: 4})
+		l32, _ := s.Layout(texture.TileLayout{L2Size: 32, L1Size: 4})
+		if !(l8.AvgBytes <= ls.AvgBytes && ls.AvgBytes <= l32.AvgBytes) {
+			t.Errorf("%s: tile-size memory ordering violated: %v %v %v",
+				name, l8.AvgBytes, ls.AvgBytes, l32.AvgBytes)
+		}
+	}
+}
+
+func TestFig5NewFractionSmall(t *testing.T) {
+	c := ctx(t)
+	if err := c.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	l16 := texture.TileLayout{L2Size: 16, L1Size: 4}
+	for _, name := range []string{"village", "city"} {
+		res, _ := c.statsRun(name)
+		ls, _ := res.Summary.Layout(l16)
+		if ls.AvgNewBlocks >= ls.AvgBlocks {
+			t.Errorf("%s: new blocks not a fraction of total", name)
+		}
+	}
+}
+
+func TestFig6BandwidthSavingPotential(t *testing.T) {
+	c := ctx(t)
+	if err := c.Fig6(); err != nil {
+		t.Fatal(err)
+	}
+	l44 := texture.TileLayout{L2Size: 4, L1Size: 4}
+	for _, name := range []string{"village", "city"} {
+		res, _ := c.statsRun(name)
+		ls, _ := res.Summary.Layout(l44)
+		// The total L1 tiles hit must exceed the new tiles (that gap is
+		// the bandwidth L2 caching saves).
+		if ls.AvgBytes <= ls.AvgNewBytes {
+			t.Errorf("%s: no bandwidth saving potential", name)
+		}
+	}
+}
+
+func TestFig9MissRateOrdering(t *testing.T) {
+	c := ctx(t)
+	if err := c.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := c.sweep("village", raster.Trilinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miss rate must decrease monotonically with L1 size.
+	prev := 1.0
+	for _, name := range l1Sweep {
+		mr := specResult(cmp, name).Totals.L1.MissRate()
+		if mr > prev {
+			t.Errorf("%s miss rate %.4f > previous %.4f", name, mr, prev)
+		}
+		prev = mr
+	}
+	// Paper: even 2KB misses under ~6-7% trilinear on average.
+	if mr := specResult(cmp, "pull-2k").Totals.L1.MissRate(); mr > 0.08 {
+		t.Errorf("2KB miss rate %.4f implausibly high", mr)
+	}
+}
+
+func TestTable2BilinearBeatsTrilinear(t *testing.T) {
+	c := ctx(t)
+	if err := c.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	bl, _ := c.sweep("village", raster.Bilinear)
+	tl, _ := c.sweep("village", raster.Trilinear)
+	for _, name := range l1Sweep {
+		b := specResult(bl, name).Totals.L1.HitRate()
+		tr := specResult(tl, name).Totals.L1.HitRate()
+		if b < tr {
+			t.Errorf("%s: bilinear hit rate %.4f < trilinear %.4f", name, b, tr)
+		}
+	}
+}
+
+func TestFig10Table3BandwidthOrdering(t *testing.T) {
+	c := ctx(t)
+	if err := c.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"village", "city"} {
+		cmp, _ := c.sweep(name, raster.Trilinear)
+		pull2 := specResult(cmp, "pull-2k").AvgHostMBPerFrame()
+		pull16 := specResult(cmp, "pull-16k").AvgHostMBPerFrame()
+		l2m2 := specResult(cmp, "l2-2m").AvgHostMBPerFrame()
+		l2m8 := specResult(cmp, "l2-8m").AvgHostMBPerFrame()
+		// Paper's headline orderings.
+		if !(pull16 < pull2) {
+			t.Errorf("%s: 16KB pull not better than 2KB pull", name)
+		}
+		if !(l2m2 < pull16) {
+			t.Errorf("%s: 2MB L2 (%.3f) not better than 16KB pull (%.3f)",
+				name, l2m2, pull16)
+		}
+		if l2m8 > l2m2 {
+			t.Errorf("%s: 8MB L2 worse than 2MB L2", name)
+		}
+		// The 5x+ saving claim (vs 2KB pull the paper reports 18x).
+		if pull2/l2m2 < 5 {
+			t.Errorf("%s: saving %.1fx < 5x", name, pull2/l2m2)
+		}
+	}
+}
+
+func TestTable56Table7(t *testing.T) {
+	c := ctx(t)
+	if err := c.Table56(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Table7(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(c)
+	if !strings.Contains(out, "fractional advantage") {
+		t.Error("missing Table 7 output")
+	}
+	// The central performance claim: f < 1 for every workload/filter.
+	for _, name := range []string{"village", "city"} {
+		for _, mode := range []raster.SampleMode{raster.Bilinear, raster.Trilinear} {
+			cmp, _ := c.sweep(name, mode)
+			res := specResult(cmp, "l2-2m")
+			l2 := res.Totals.L2
+			f := 8 - 7.5*l2.FullHitRate() - 7*l2.PartialHitRate()
+			if f >= 1 {
+				t.Errorf("%s/%v: f = %.3f >= 1", name, mode, f)
+			}
+		}
+	}
+}
+
+func TestTable8TLBMonotone(t *testing.T) {
+	c := ctx(t)
+	if err := c.Table8(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"village", "city"} {
+		cmp, _ := c.sweep(name, raster.Bilinear)
+		prev := -1.0
+		for _, spec := range []string{"tlb-1", "tlb-2", "tlb-4", "tlb-8", "l2-2m"} {
+			hr := specResult(cmp, spec).Totals.TLB.HitRate()
+			if hr < prev {
+				t.Errorf("%s: TLB hit rate fell at %s: %.3f < %.3f",
+					name, spec, hr, prev)
+			}
+			prev = hr
+		}
+		// Paper Table 8: 16 entries capture >90%; accept >80% at scale.
+		if prev < 0.80 {
+			t.Errorf("%s: 16-entry TLB hit rate %.3f < 0.80", name, prev)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	c := ctx(t)
+	for _, id := range []string{"ablation-z", "ablation-repl", "ablation-sector", "ablation-assoc", "future"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if err := e.Run(c); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := output(c)
+	for _, want := range []string{"z-before-texture", "clock", "sector"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestFrameHostHelper(t *testing.T) {
+	c := ctx(t)
+	cmp, err := c.sweep("city", raster.Trilinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := specResult(cmp, "pull-2k")
+	if got := frameHost(res, 0); got <= 0 {
+		t.Errorf("frameHost = %v, want > 0", got)
+	}
+}

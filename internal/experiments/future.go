@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"texcache/internal/model"
+	"texcache/internal/raster"
+)
+
+// Future runs the §6 "workloads of the future" investigation: the Mall
+// workload applies two textures to every surface (diffuse plus a unique
+// lightmap via multipass), combining the Village's sharing with the
+// City's large single-use texture population. The experiment reports the
+// workload statistics of Table 1 and the architecture comparison of
+// Table 3 for this workload.
+func (c *Context) Future() error {
+	c.header("Extension: multitextured Mall ('workload of the future', §6)")
+
+	// Workload statistics (Table 1 analogue, point sampling).
+	res, err := c.statsRun("mall")
+	if err != nil {
+		return err
+	}
+	s := res.Summary
+	l16, _ := s.Layout(l2Layout16)
+	w := model.ExpectedWorkingSet(s.ScreenPixels, s.DepthComplexity, l16.Utilization)
+	mallW := c.workloadByName("mall")
+	c.printf("textures: %d (%.1f MB host); most are single-use lightmaps\n",
+		mallW.Scene.Textures.Len(),
+		float64(mallW.Scene.Textures.HostBytes())/(1<<20))
+	c.printf("depth complexity d   = %.2f (every surface textured twice)\n",
+		s.DepthComplexity)
+	c.printf("block utilization    = %.2f\n", l16.Utilization)
+	c.printf("expected W           = %.2f MB; measured blocks %.2f MB/frame\n",
+		mbf(w), mbf(l16.AvgBytes))
+	c.printf("min push memory      = %.2f MB avg\n", mbf(s.AvgPushBytes))
+	c.printf("L2 vs push local mem = %.1fx smaller\n",
+		s.AvgPushBytes/l16.AvgBytes)
+
+	// Architecture comparison (Table 3 analogue, trilinear).
+	cmp, err := c.sweep("mall", raster.Trilinear)
+	if err != nil {
+		return err
+	}
+	c.printf("\n%-18s %10s %14s\n", "config", "L1 hit", "host MB/frame")
+	for _, cfg := range bandwidthConfigs {
+		r := specResult(cmp, cfg.spec)
+		c.printf("%-18s %9.2f%% %14.3f\n", cfg.label,
+			100*r.Totals.L1.HitRate(), r.AvgHostMBPerFrame())
+	}
+	pull := specResult(cmp, "pull-2k").AvgHostMBPerFrame()
+	l2 := specResult(cmp, "l2-2m").AvgHostMBPerFrame()
+	if l2 > 0 {
+		c.printf("\n2MB L2 saving: %.0fx — L2 caching scales to multitextured workloads,\n",
+			pull/l2)
+		c.printf("as the paper's expected-case analysis predicts (§6).\n")
+	}
+	return nil
+}

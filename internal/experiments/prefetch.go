@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"texcache/internal/raster"
+)
+
+// Prefetch computes the memoized simulation runs that the experiments
+// share — the three point-sampled statistics runs and the six
+// workload-by-filter cache sweeps — concurrently, bounded by `parallel`
+// goroutines (0 means GOMAXPROCS). Each run builds its own workload so the
+// scenes never race; the memo maps are filled under a mutex once the runs
+// complete. Subsequent experiment calls hit the memos and print instantly.
+func (c *Context) Prefetch(parallel int) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	type statsJob struct{ name string }
+	type sweepJob struct {
+		name string
+		mode raster.SampleMode
+	}
+	var jobs []any
+	for _, name := range []string{"village", "city", "mall"} {
+		jobs = append(jobs, statsJob{name})
+		for _, mode := range []raster.SampleMode{raster.Bilinear, raster.Trilinear} {
+			jobs = append(jobs, sweepJob{name, mode})
+		}
+	}
+
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, parallel)
+		first error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if first == nil {
+			first = err
+		}
+	}
+	for _, job := range jobs {
+		// Skip work that is already memoized.
+		mu.Lock()
+		switch j := job.(type) {
+		case statsJob:
+			if _, ok := c.statsRuns[j.name]; ok {
+				mu.Unlock()
+				continue
+			}
+		case sweepJob:
+			if _, ok := c.cmpRuns[fmt.Sprintf("%s/%s", j.name, j.mode)]; ok {
+				mu.Unlock()
+				continue
+			}
+		}
+		mu.Unlock()
+
+		wg.Add(1)
+		go func(job any) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// An isolated context computes the run against its own
+			// workload instance (scene graphs are not goroutine-safe
+			// to share across concurrent renders of different runs).
+			iso := NewContext(c.Scale, c.Out)
+			switch j := job.(type) {
+			case statsJob:
+				r, err := iso.statsRun(j.name)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				c.statsRuns[j.name] = r
+				if _, ok := c.workloads[j.name]; !ok {
+					c.workloads[j.name] = iso.workloads[j.name]
+				}
+				mu.Unlock()
+			case sweepJob:
+				r, err := iso.sweep(j.name, j.mode)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				c.cmpRuns[fmt.Sprintf("%s/%s", j.name, j.mode)] = r
+				if _, ok := c.workloads[j.name]; !ok {
+					c.workloads[j.name] = iso.workloads[j.name]
+				}
+				mu.Unlock()
+			}
+		}(job)
+	}
+	wg.Wait()
+	return first
+}

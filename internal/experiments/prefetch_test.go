@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"texcache/internal/raster"
+)
+
+func TestPrefetchMatchesSequential(t *testing.T) {
+	// A prefetched context must produce results identical to sequential
+	// computation (determinism across goroutines).
+	par := NewContext(Bench, io.Discard)
+	if err := par.Prefetch(4); err != nil {
+		t.Fatal(err)
+	}
+	seq := ctx(t) // shared sequential context from experiments_test
+
+	for _, name := range []string{"village", "city"} {
+		ps, err := par.statsRun(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, _ := seq.statsRun(name)
+		if ps.Summary.DepthComplexity != ss.Summary.DepthComplexity {
+			t.Errorf("%s: depth complexity differs: %v vs %v",
+				name, ps.Summary.DepthComplexity, ss.Summary.DepthComplexity)
+		}
+		pc, err := par.sweep(name, raster.Trilinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _ := seq.sweep(name, raster.Trilinear)
+		for i := range pc.Results {
+			if pc.Results[i].Totals != sc.Results[i].Totals {
+				t.Errorf("%s spec %d: totals differ", name, i)
+			}
+		}
+	}
+}
+
+func TestPrefetchIdempotent(t *testing.T) {
+	c := NewContext(Bench, &bytes.Buffer{})
+	if err := c.Prefetch(2); err != nil {
+		t.Fatal(err)
+	}
+	before := len(c.cmpRuns)
+	if err := c.Prefetch(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.cmpRuns) != before {
+		t.Error("second Prefetch recomputed runs")
+	}
+}

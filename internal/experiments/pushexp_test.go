@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPushExperiment(t *testing.T) {
+	c := ctx(t)
+	if err := c.Push(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(c)
+	if !strings.Contains(out, "push architecture") {
+		t.Error("missing push output")
+	}
+}

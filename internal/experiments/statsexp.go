@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"texcache/internal/model"
+	"texcache/internal/texture"
+)
+
+// Fig3 prints the analytic expected inter-frame working set surface: W as
+// a function of resolution, depth complexity and block utilisation.
+func (c *Context) Fig3() error {
+	c.header("Figure 3: expected inter-frame working set W = R*d*4/utilization")
+	c.printf("%-12s", "util \\ R,d")
+	for _, res := range model.Fig3Resolutions {
+		for _, d := range model.Fig3Depths {
+			c.printf(" %6dx%d d%.0f", res[0], res[1], d)
+		}
+	}
+	c.printf("\n")
+	pts := model.Fig3()
+	perCurve := len(model.Fig3Resolutions) * len(model.Fig3Depths)
+	for i, util := range model.Fig3Utilizations {
+		c.printf("%-12.2f", util)
+		for j := 0; j < perCurve; j++ {
+			c.printf(" %12.1fMB", mbf(pts[i*perCurve+j].W))
+		}
+		c.printf("\n")
+	}
+	c.printf("Paper claims: util >= 0.25 keeps W < 64 MB at reasonable depth/resolution;\n")
+	c.printf("util >= 0.5 at d=1 keeps W < 16 MB.\n")
+	return nil
+}
+
+// Table1 prints measured workload statistics and the expected working set.
+func (c *Context) Table1() error {
+	c.header("Table 1: statistics and expected inter-frame working set (16x16 L2 tiles)")
+	c.printf("%-28s %12s %12s\n", "", "Village", "City")
+	type row struct {
+		d, util, wMB float64
+	}
+	rows := map[string]row{}
+	for _, name := range []string{"village", "city"} {
+		res, err := c.statsRun(name)
+		if err != nil {
+			return err
+		}
+		s := res.Summary
+		ls, _ := s.Layout(texture.TileLayout{L2Size: 16, L1Size: 4})
+		w := model.ExpectedWorkingSet(s.ScreenPixels, s.DepthComplexity, ls.Utilization)
+		rows[name] = row{s.DepthComplexity, ls.Utilization, mbf(w)}
+	}
+	c.printf("%-28s %12.2f %12.2f\n", "Depth complexity, d",
+		rows["village"].d, rows["city"].d)
+	c.printf("%-28s %12.2f %12.2f\n", "Block utilization",
+		rows["village"].util, rows["city"].util)
+	c.printf("%-28s %10.2fMB %10.2fMB\n", "Expected working set, W",
+		rows["village"].wMB, rows["city"].wMB)
+	c.printf("Paper (1024x768):              d=3.8/1.9  util=4.7/7.8  W=2.43MB/0.73MB\n")
+	return nil
+}
+
+// Fig4 prints the per-frame minimum memory required by each architecture:
+// all loaded textures, the push architecture (whole textures touched), and
+// the L2 caching architecture at three tile sizes.
+func (c *Context) Fig4() error {
+	c.header("Figure 4: minimum memory required (MB)")
+	for _, name := range []string{"village", "city"} {
+		res, err := c.statsRun(name)
+		if err != nil {
+			return err
+		}
+		c.printf("\n-- %s --\n", name)
+		c.printf("%6s %10s %10s %10s %10s %10s\n",
+			"frame", "loaded", "push-min", "L2(32x32)", "L2(16x16)", "L2(8x8)")
+		step := len(res.Frames) / 10
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(res.Frames); i += step {
+			f := res.Frames[i].Stats
+			l32, _ := f.LayoutStats(texture.TileLayout{L2Size: 32, L1Size: 4})
+			l16, _ := f.LayoutStats(texture.TileLayout{L2Size: 16, L1Size: 4})
+			l8, _ := f.LayoutStats(texture.TileLayout{L2Size: 8, L1Size: 4})
+			c.printf("%6d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+				i, mb(f.HostLoadedBytes), mb(f.PushBytes),
+				mb(l32.MinBytes()), mb(l16.MinBytes()), mb(l8.MinBytes()))
+		}
+		s := res.Summary
+		l16s, _ := s.Layout(texture.TileLayout{L2Size: 16, L1Size: 4})
+		c.printf("avg: push %.2f MB vs L2(16x16) %.2f MB -> %.1fx local memory saving\n",
+			mbf(s.AvgPushBytes), mbf(l16s.AvgBytes), s.AvgPushBytes/l16s.AvgBytes)
+	}
+	c.printf("\nPaper: L2 needs ~3.9MB (Village) / ~1.5MB (City) vs push 12MB / 7.4MB: 3-5x savings.\n")
+	return nil
+}
+
+// Fig5 prints total vs new L2 memory per frame for 16x16 tiles.
+func (c *Context) Fig5() error {
+	c.header("Figure 5: total and new L2 memory per frame (16x16 tiles)")
+	for _, name := range []string{"village", "city"} {
+		res, err := c.statsRun(name)
+		if err != nil {
+			return err
+		}
+		c.printf("\n-- %s --\n", name)
+		c.printf("%6s %12s %12s\n", "frame", "total (MB)", "new (KB)")
+		step := len(res.Frames) / 10
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(res.Frames); i += step {
+			f := res.Frames[i].Stats
+			l16, _ := f.LayoutStats(texture.TileLayout{L2Size: 16, L1Size: 4})
+			c.printf("%6d %12.2f %12.0f\n", i, mb(l16.MinBytes()), kb(l16.NewBytes()))
+		}
+		s := res.Summary
+		l16, _ := s.Layout(texture.TileLayout{L2Size: 16, L1Size: 4})
+		c.printf("avg: total %.2f MB, new %.0f KB per frame (%.1f%% new)\n",
+			mbf(l16.AvgBytes), kbf(l16.AvgNewBytes),
+			100*l16.AvgNewBlocks/l16.AvgBlocks)
+	}
+	c.printf("\nPaper: inter-frame working set changes slowly; ~150KB (Village) / ~40KB (City) new per frame.\n")
+	return nil
+}
+
+// Fig6 prints the minimum L1 download bandwidth: total (pull architecture
+// minimum) vs new-only (L2 architecture minimum), for 4x4 and 8x8 L1 tiles.
+func (c *Context) Fig6() error {
+	c.header("Figure 6: minimum L1 bandwidth per frame (L1 blocks hit at least once)")
+	for _, name := range []string{"village", "city"} {
+		res, err := c.statsRun(name)
+		if err != nil {
+			return err
+		}
+		c.printf("\n-- %s --\n", name)
+		c.printf("%6s %14s %14s %14s %14s\n",
+			"frame", "total 8x8(MB)", "total 4x4(MB)", "new 8x8(KB)", "new 4x4(KB)")
+		step := len(res.Frames) / 10
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(res.Frames); i += step {
+			f := res.Frames[i].Stats
+			t4, _ := f.LayoutStats(texture.TileLayout{L2Size: 4, L1Size: 4})
+			t8, _ := f.LayoutStats(texture.TileLayout{L2Size: 8, L1Size: 8})
+			c.printf("%6d %14.2f %14.2f %14.0f %14.0f\n",
+				i, mb(t8.MinBytes()), mb(t4.MinBytes()),
+				kb(t8.NewBytes()), kb(t4.NewBytes()))
+		}
+		s := res.Summary
+		t4, _ := s.Layout(texture.TileLayout{L2Size: 4, L1Size: 4})
+		c.printf("avg 4x4: %.2f MB hit vs %.0f KB new -> %.0fx bandwidth saving potential\n",
+			mbf(t4.AvgBytes), kbf(t4.AvgNewBytes), t4.AvgBytes/t4.AvgNewBytes)
+	}
+	c.printf("\nPaper: ~2MB (Village) / ~510KB (City) of 4x4 L1 tiles hit per frame;\n")
+	c.printf("only ~110KB / ~23KB are new -> L2 caching saves most host bandwidth.\n")
+	return nil
+}
+
+// Table4 prints the memory requirements of the L2 caching structures.
+func (c *Context) Table4() error {
+	c.header("Table 4: memory requirements of L2 caching structures (16x16 tiles)")
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	rows := model.Table4([]int{2 << 20, 4 << 20, 8 << 20}, layout)
+	c.printf("%-40s %10s %10s %10s\n", "L2 cache size", "2 MB", "4 MB", "8 MB")
+	for _, host := range model.Table4HostCapacities {
+		c.printf("page table for %4d MB host texture %5s", host>>20, "")
+		for range rows {
+			c.printf(" %8.0fKB", kb(model.PageTableBytes(host, layout)))
+		}
+		c.printf("\n")
+	}
+	c.printf("%-40s", "BRL active bits (on-chip)")
+	for _, r := range rows {
+		c.printf(" %8.2fKB", kb(r.BRLActive))
+	}
+	c.printf("\n%-40s", "BRL t_index (external)")
+	for _, r := range rows {
+		c.printf(" %8.0fKB", kb(r.BRLIndex))
+	}
+	c.printf("\nPaper: 32MB host -> 128KB page table; BRL active 0.25/0.5/1 KB; t_index 8/16/32 KB.\n")
+	return nil
+}

@@ -1,0 +1,42 @@
+package model_test
+
+import (
+	"fmt"
+
+	"texcache/internal/model"
+	"texcache/internal/texture"
+)
+
+// ExampleExpectedWorkingSet reproduces the paper's Table 1 entries.
+func ExampleExpectedWorkingSet() {
+	// Village: 1024x768, depth complexity 3.8, utilisation 4.7.
+	w := model.ExpectedWorkingSet(1024*768, 3.8, 4.7)
+	fmt.Printf("Village W = %.2f MB\n", w/(1<<20))
+	// City: depth complexity 1.9, utilisation 7.8.
+	w = model.ExpectedWorkingSet(1024*768, 1.9, 7.8)
+	fmt.Printf("City W = %.2f MB\n", w/(1<<20))
+	// Output:
+	// Village W = 2.43 MB
+	// City W = 0.73 MB
+}
+
+// ExamplePageTableBytes reproduces a Table 4 entry: 32 MB of host texture
+// under 16x16 tiles needs a 128 KB page table.
+func ExamplePageTableBytes() {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	b := model.PageTableBytes(32<<20, layout)
+	fmt.Printf("%d KB\n", b>>10)
+	// Output:
+	// 128 KB
+}
+
+// ExampleFractionalAdvantage evaluates the §5.4.2 performance model: with
+// 95% L2 full hits and 4% partial hits, the L1-miss path costs about 43%
+// of the pull architecture's even when a full L2 miss is 8x as expensive
+// as a host download.
+func ExampleFractionalAdvantage() {
+	f := model.FractionalAdvantage(8, 0.95, 0.04)
+	fmt.Printf("f = %.3f\n", f)
+	// Output:
+	// f = 0.595
+}

@@ -1,0 +1,156 @@
+// Package model implements the paper's analytic models: the expected
+// inter-frame working set (§4.1, Figure 3), the memory requirements of the
+// L2 caching structures (§5.4.1, Table 4), and the average-access-time
+// performance model with its fractional advantage f (§5.4.2, Table 7).
+package model
+
+import (
+	"texcache/internal/texture"
+)
+
+// ExpectedWorkingSet returns W, the expected inter-frame working set in
+// bytes: W = (R * d * 4) / utilization, where R is the screen resolution
+// in pixels, d the depth complexity, 4 the bytes per cached texel, and
+// utilization the block utilisation (texel references per block texel;
+// above 1 indicates re-use).
+func ExpectedWorkingSet(screenPixels int64, depth, utilization float64) float64 {
+	if utilization <= 0 {
+		return 0
+	}
+	return float64(screenPixels) * depth * float64(texture.CacheTexelBytes) / utilization
+}
+
+// Fig3Point is one sample of the Figure 3 surface.
+type Fig3Point struct {
+	Width, Height int
+	Depth         float64
+	Utilization   float64
+	// W is the expected working set in bytes.
+	W float64
+}
+
+// Fig3Resolutions are the screen sizes spanned by Figure 3's x axis.
+var Fig3Resolutions = [][2]int{
+	{640, 480}, {800, 600}, {1024, 768}, {1280, 1024}, {1600, 1200},
+}
+
+// Fig3Depths are the depth complexities of Figure 3's x axis.
+var Fig3Depths = []float64{1, 2, 3, 4}
+
+// Fig3Utilizations are the per-curve utilisations of Figure 3.
+var Fig3Utilizations = []float64{0.1, 0.25, 0.5, 1.0, 5.0}
+
+// Fig3 generates the full grid of Figure 3: for each utilisation curve,
+// W across (resolution x depth) in row-major order (resolution-major).
+func Fig3() []Fig3Point {
+	var pts []Fig3Point
+	for _, util := range Fig3Utilizations {
+		for _, res := range Fig3Resolutions {
+			for _, d := range Fig3Depths {
+				r := int64(res[0]) * int64(res[1])
+				pts = append(pts, Fig3Point{
+					Width: res[0], Height: res[1],
+					Depth: d, Utilization: util,
+					W: ExpectedWorkingSet(r, d, util),
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// PageTableEntryBytes returns the size of one t_table[] entry under the
+// given layout: a 16-bit physical block handle plus one sector bit per L1
+// sub-block, with the whole entry aligned to a 16-bit boundary (§5.4.1).
+func PageTableEntryBytes(layout texture.TileLayout) int {
+	bits := 16 + layout.SubPerBlock()
+	// Round up to 16-bit alignment.
+	words := (bits + 15) / 16
+	return words * 2
+}
+
+// PageTableBytes returns the texture page table size needed to support the
+// given host texture capacity (at 32-bit texels, as the paper sizes it)
+// under the layout.
+func PageTableBytes(hostTextureBytes int64, layout texture.TileLayout) int64 {
+	entries := hostTextureBytes / int64(layout.L2BlockBytes())
+	return entries * int64(PageTableEntryBytes(layout))
+}
+
+// BRLActiveBytes returns the on-chip SRAM for the BRL active bits: one bit
+// per physical L2 block.
+func BRLActiveBytes(l2SizeBytes int, layout texture.TileLayout) int64 {
+	blocks := int64(l2SizeBytes / layout.L2BlockBytes())
+	return (blocks + 7) / 8
+}
+
+// BRLIndexBytes returns the external-DRAM storage for the BRL t_index
+// fields: a 32-bit page-table index per physical block.
+func BRLIndexBytes(l2SizeBytes int, layout texture.TileLayout) int64 {
+	blocks := int64(l2SizeBytes / layout.L2BlockBytes())
+	return blocks * 4
+}
+
+// Table4Row is one column of Table 4 (a given L2 cache size).
+type Table4Row struct {
+	L2SizeBytes    int
+	PageTableBytes map[int64]int64 // host texture capacity -> bytes
+	BRLActive      int64
+	BRLIndex       int64
+}
+
+// Table4HostCapacities are the host texture capacities of Table 4.
+var Table4HostCapacities = []int64{
+	16 << 20, 32 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// Table4 computes the structure sizes for the given L2 cache sizes under
+// the layout (the paper uses 16x16 tiles).
+func Table4(l2Sizes []int, layout texture.TileLayout) []Table4Row {
+	rows := make([]Table4Row, 0, len(l2Sizes))
+	for _, sz := range l2Sizes {
+		row := Table4Row{
+			L2SizeBytes:    sz,
+			PageTableBytes: make(map[int64]int64, len(Table4HostCapacities)),
+			BRLActive:      BRLActiveBytes(sz, layout),
+			BRLIndex:       BRLIndexBytes(sz, layout),
+		}
+		for _, host := range Table4HostCapacities {
+			row.PageTableBytes[host] = PageTableBytes(host, layout)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FractionalAdvantage returns f, the ratio of the L2 architecture's cost
+// on an L1 miss to the pull architecture's cost on an L1 miss (§5.4.2):
+//
+//	f = c - (c - 1/2)*h2full - (c - 1)*h2partial
+//
+// where c = t2miss/t3 bounds the cost of a full L2 miss relative to
+// downloading an L1 block from host memory, h2full and h2partial are the
+// L2 full and partial hit rates conditioned on an L1 miss. f < 1 means the
+// L2 architecture outperforms pull on the miss path.
+func FractionalAdvantage(c, h2full, h2partial float64) float64 {
+	return c - (c-0.5)*h2full - (c-1)*h2partial
+}
+
+// AvgAccessTimes returns the average texel access times of the pull and L2
+// architectures in units of t3 (the pull architecture's L1-miss service
+// time), with t1 the L1 hit time in the same units:
+//
+//	A_pull = t1 + (1 - h1)
+//	A_L2   = t1 + (1 - h1) * f
+func AvgAccessTimes(t1, h1, f float64) (pull, l2 float64) {
+	return t1 + (1 - h1), t1 + (1-h1)*f
+}
+
+// Speedup returns A_pull / A_L2 for the given parameters.
+func Speedup(t1, h1, f float64) float64 {
+	pull, l2 := AvgAccessTimes(t1, h1, f)
+	if l2 == 0 {
+		return 0
+	}
+	return pull / l2
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+var l16 = texture.TileLayout{L2Size: 16, L1Size: 4}
+
+func TestExpectedWorkingSetMatchesTable1(t *testing.T) {
+	// Paper Table 1: Village at 1024x768, d = 3.8, util = 4.7
+	// gives W ~= 2.43 MB.
+	w := ExpectedWorkingSet(1024*768, 3.8, 4.7)
+	if mb := w / (1 << 20); math.Abs(mb-2.43) > 0.05 {
+		t.Errorf("Village W = %.2f MB, paper says 2.43 MB", mb)
+	}
+	// City: d = 1.9, util = 7.8 -> ~0.73 MB.
+	w = ExpectedWorkingSet(1024*768, 1.9, 7.8)
+	if mb := w / (1 << 20); math.Abs(mb-0.73) > 0.03 {
+		t.Errorf("City W = %.2f MB, paper says 0.73 MB", mb)
+	}
+}
+
+func TestExpectedWorkingSetEdgeCases(t *testing.T) {
+	if got := ExpectedWorkingSet(1000, 1, 0); got != 0 {
+		t.Errorf("zero utilisation W = %v", got)
+	}
+	// Utilisation above 1 shrinks the working set (texel re-use).
+	lo := ExpectedWorkingSet(1000, 2, 5)
+	hi := ExpectedWorkingSet(1000, 2, 0.5)
+	if lo >= hi {
+		t.Errorf("utilisation ordering wrong: %v >= %v", lo, hi)
+	}
+}
+
+func TestFig3GridShapeAndMonotonicity(t *testing.T) {
+	pts := Fig3()
+	want := len(Fig3Utilizations) * len(Fig3Resolutions) * len(Fig3Depths)
+	if len(pts) != want {
+		t.Fatalf("points = %d, want %d", len(pts), want)
+	}
+	// W grows with resolution and depth, shrinks with utilisation.
+	for i := 1; i < len(Fig3Depths); i++ {
+		if pts[i].W <= pts[i-1].W {
+			t.Errorf("W not increasing with depth")
+		}
+	}
+	// Figure 3's qualitative claim: at util >= 0.25 and reasonable
+	// depth/resolution, W stays under 64 MB.
+	for _, p := range pts {
+		if p.Utilization >= 0.25 && p.Depth <= 2 && p.Width <= 1280 {
+			if p.W > 64<<20 {
+				t.Errorf("W = %.1f MB at util %.2f, d %.0f, %dx%d; paper says < 64 MB",
+					p.W/(1<<20), p.Utilization, p.Depth, p.Width, p.Height)
+			}
+		}
+	}
+	// At util >= 0.5 and d = 1, W < 16 MB (the paper's low-end claim).
+	for _, p := range pts {
+		if p.Utilization >= 0.5 && p.Depth == 1 && p.W >= 16<<20 {
+			t.Errorf("W = %.1f MB at util %.2f d=1, paper says < 16 MB",
+				p.W/(1<<20), p.Utilization)
+		}
+	}
+}
+
+func TestPageTableEntryBytes(t *testing.T) {
+	// 16x16 tiles: 16 sector bits + 16-bit handle = 4 bytes.
+	if got := PageTableEntryBytes(l16); got != 4 {
+		t.Errorf("entry bytes 16x16 = %d, want 4", got)
+	}
+	// 8x8 tiles: 4 sector bits + 16 -> 20 bits -> 4 bytes aligned.
+	if got := PageTableEntryBytes(texture.TileLayout{L2Size: 8, L1Size: 4}); got != 4 {
+		t.Errorf("entry bytes 8x8 = %d, want 4", got)
+	}
+	// 32x32 tiles: 64 sector bits + 16 -> 80 bits -> 10 bytes.
+	if got := PageTableEntryBytes(texture.TileLayout{L2Size: 32, L1Size: 4}); got != 10 {
+		t.Errorf("entry bytes 32x32 = %d, want 10", got)
+	}
+}
+
+func TestPageTableBytesMatchesTable4(t *testing.T) {
+	// Paper: 32 MB host texture with 16x16 32-bit blocks -> 32K entries
+	// -> 128 KB.
+	if got := PageTableBytes(32<<20, l16); got != 128<<10 {
+		t.Errorf("page table for 32MB = %d, want %d", got, 128<<10)
+	}
+	if got := PageTableBytes(16<<20, l16); got != 64<<10 {
+		t.Errorf("page table for 16MB = %d, want %d", got, 64<<10)
+	}
+	if got := PageTableBytes(1<<30, l16); got != 4096<<10 {
+		t.Errorf("page table for 1GB = %d, want %d", got, 4096<<10)
+	}
+}
+
+func TestBRLSizesMatchTable4(t *testing.T) {
+	// 2 MB L2 of 16x16 tiles = 2048 blocks: active bits = 0.25 KB,
+	// t_index = 8 KB.
+	if got := BRLActiveBytes(2<<20, l16); got != 256 {
+		t.Errorf("BRL active = %d, want 256", got)
+	}
+	if got := BRLIndexBytes(2<<20, l16); got != 8<<10 {
+		t.Errorf("BRL index = %d, want 8K", got)
+	}
+	// 8 MB: 1 KB active, 32 KB index.
+	if got := BRLActiveBytes(8<<20, l16); got != 1024 {
+		t.Errorf("BRL active 8MB = %d, want 1024", got)
+	}
+	if got := BRLIndexBytes(8<<20, l16); got != 32<<10 {
+		t.Errorf("BRL index 8MB = %d, want 32K", got)
+	}
+}
+
+func TestTable4Rows(t *testing.T) {
+	rows := Table4([]int{2 << 20, 4 << 20, 8 << 20}, l16)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.PageTableBytes) != len(Table4HostCapacities) {
+			t.Errorf("row %d missing capacities", r.L2SizeBytes)
+		}
+	}
+	// Page table size is independent of L2 cache size.
+	if rows[0].PageTableBytes[32<<20] != rows[2].PageTableBytes[32<<20] {
+		t.Error("page table size varied with L2 size")
+	}
+	if rows[0].BRLActive >= rows[2].BRLActive {
+		t.Error("BRL active bits must grow with L2 size")
+	}
+}
+
+func TestFractionalAdvantage(t *testing.T) {
+	// Perfect full-hit rate: every L1 miss costs half the pull cost.
+	if got := FractionalAdvantage(8, 1, 0); got != 0.5 {
+		t.Errorf("f(all full hits) = %v, want 0.5", got)
+	}
+	// All partial hits: same cost as pull (download passes through).
+	if got := FractionalAdvantage(8, 0, 1); got != 1 {
+		t.Errorf("f(all partial) = %v, want 1", got)
+	}
+	// All misses: c times the pull cost.
+	if got := FractionalAdvantage(8, 0, 0); got != 8 {
+		t.Errorf("f(all miss) = %v, want 8", got)
+	}
+	// Paper-like rates: high full-hit rates give f < 1 even with c = 8.
+	if got := FractionalAdvantage(8, 0.95, 0.03); got >= 1 {
+		t.Errorf("f(95%% full) = %v, want < 1", got)
+	}
+}
+
+func TestAvgAccessTimesAndSpeedup(t *testing.T) {
+	// h1 = 0.98, t1 = 0.05 t3, f = 0.6.
+	pull, l2 := AvgAccessTimes(0.05, 0.98, 0.6)
+	if math.Abs(pull-0.07) > 1e-12 {
+		t.Errorf("A_pull = %v, want 0.07", pull)
+	}
+	if math.Abs(l2-0.062) > 1e-12 {
+		t.Errorf("A_L2 = %v, want 0.062", l2)
+	}
+	if s := Speedup(0.05, 0.98, 0.6); s <= 1 {
+		t.Errorf("speedup = %v, want > 1 when f < 1", s)
+	}
+	if s := Speedup(0.05, 0.98, 1.0); math.Abs(s-1) > 1e-12 {
+		t.Errorf("speedup at f=1 = %v, want 1", s)
+	}
+}

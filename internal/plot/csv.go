@@ -1,0 +1,64 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// LoadCSV reads a headered CSV of floats into a header row and per-column
+// value slices.
+func LoadCSV(path string) (header []string, cols [][]float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("plot: %s has no data rows", path)
+	}
+	header = rows[0]
+	cols = make([][]float64, len(header))
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, nil, fmt.Errorf("plot: %s: ragged row", path)
+		}
+		for i, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("plot: %s: bad cell %q: %w", path, cell, err)
+			}
+			cols[i] = append(cols[i], v)
+		}
+	}
+	return header, cols, nil
+}
+
+// SeriesFromColumns builds one series per column after the first (which
+// supplies x values), scaling y values by yScale and renaming via rename
+// when non-nil.
+func SeriesFromColumns(header []string, cols [][]float64, yScale float64,
+	rename func(string) string) []Series {
+	var out []Series
+	if len(cols) < 2 {
+		return out
+	}
+	x := cols[0]
+	for i := 1; i < len(cols); i++ {
+		ys := make([]float64, len(cols[i]))
+		for j, v := range cols[i] {
+			ys[j] = v * yScale
+		}
+		name := header[i]
+		if rename != nil {
+			name = rename(name)
+		}
+		out = append(out, Series{Name: name, X: x, Y: ys})
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSV(t *testing.T) {
+	path := writeTemp(t, "frame,a,b\n0,1.5,2\n1,2.5,4\n")
+	header, cols, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 3 || header[1] != "a" {
+		t.Errorf("header = %v", header)
+	}
+	if len(cols) != 3 || cols[1][1] != 2.5 || cols[2][0] != 2 {
+		t.Errorf("cols = %v", cols)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, _, err := LoadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, _, err := LoadCSV(writeTemp(t, "only,header\n")); err == nil {
+		t.Error("headerless file accepted")
+	}
+	if _, _, err := LoadCSV(writeTemp(t, "a,b\n1,notanumber\n")); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestSeriesFromColumns(t *testing.T) {
+	header := []string{"x", "host_bytes_a", "host_bytes_b"}
+	cols := [][]float64{{0, 1}, {10, 20}, {30, 40}}
+	rename := func(s string) string { return s[len("host_bytes_"):] }
+	series := SeriesFromColumns(header, cols, 0.5, rename)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if series[0].Name != "a" || series[1].Name != "b" {
+		t.Errorf("names = %q, %q", series[0].Name, series[1].Name)
+	}
+	if series[0].Y[1] != 10 { // 20 * 0.5
+		t.Errorf("scaled y = %v", series[0].Y)
+	}
+	if series[1].X[0] != 0 || series[1].X[1] != 1 {
+		t.Errorf("x column = %v", series[1].X)
+	}
+	// Degenerate single-column input yields no series.
+	if got := SeriesFromColumns([]string{"x"}, [][]float64{{1}}, 1, nil); len(got) != 0 {
+		t.Errorf("single column produced %d series", len(got))
+	}
+}

@@ -1,0 +1,184 @@
+// Package plot renders simple SVG line charts from data series — enough to
+// turn the experiment CSV exports back into the paper's figures without
+// external tooling.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY plots the y axis in log10 scale (bandwidth figures span
+	// orders of magnitude, as in the paper's Figure 10).
+	LogY bool
+	// Width and Height are the SVG canvas size; zero selects defaults.
+	Width, Height int
+}
+
+// palette holds distinguishable line colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	defaultW = 760
+	defaultH = 420
+	marginL  = 70
+	marginR  = 150
+	marginT  = 40
+	marginB  = 50
+)
+
+// Render writes the chart as an SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = defaultW
+	}
+	if height <= 0 {
+		height = defaultH
+	}
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(c.Title))
+
+	// Transforms from data to pixel space.
+	tx := func(x float64) float64 {
+		if xmax == xmin {
+			return marginL
+		}
+		return marginL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		lo, hi := ymin, ymax
+		if hi == lo {
+			return marginT + plotH
+		}
+		return marginT + plotH - (y-lo)/(hi-lo)*plotH
+	}
+
+	// Axes and grid.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		gy := marginT + plotH - frac*plotH
+		val := ymin + frac*(ymax-ymin)
+		label := formatTick(val, c.LogY)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, gy, marginL+plotW, gy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, gy+4, label)
+
+		gx := marginL + frac*plotW
+		xv := xmin + frac*(xmax-xmin)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%.4g</text>`+"\n",
+			gx, marginT+plotH+16, xv)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+
+	// Series polylines and legend.
+	for i, s := range c.Series {
+		colour := palette[i%len(palette)]
+		var pts strings.Builder
+		for j := range s.X {
+			y := s.Y[j]
+			if c.LogY && y <= 0 {
+				continue // cannot plot non-positive on log axis
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f ", tx(s.X[j]), ty(y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.TrimSpace(pts.String()), colour)
+		ly := marginT + 14 + i*18
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			marginL+plotW+10, ly, marginL+plotW+34, ly, colour)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11">%s</text>`+"\n",
+			marginL+plotW+40, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes the data extents (y in log10 when LogY).
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	if len(c.Series) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: no series")
+	}
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("plot: series %q: %d x vs %d y",
+				s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: no plottable points")
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// formatTick renders an axis label, undoing the log transform for display.
+func formatTick(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

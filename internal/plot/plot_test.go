@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:  "Test & Chart",
+		XLabel: "frame",
+		YLabel: "MB",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+		},
+	}
+}
+
+func TestRenderProducesSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simpleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Test &amp; Chart", "frame", "MB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two series -> two polylines and two legend entries.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Chart{Title: "empty"}
+	if err := empty.Render(&buf); err == nil {
+		t.Error("empty chart rendered")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: nil}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Error("mismatched series rendered")
+	}
+	allNonPositiveLog := &Chart{
+		LogY:   true,
+		Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{0, -1}}},
+	}
+	if err := allNonPositiveLog.Render(&buf); err == nil {
+		t.Error("log chart with no positive points rendered")
+	}
+}
+
+func TestLogYSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{{
+			Name: "bw",
+			X:    []float64{0, 1, 2, 3},
+			Y:    []float64{10, 0, 100, 1000}, // the zero must be skipped
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The polyline must have exactly 3 points.
+	out := buf.String()
+	start := strings.Index(out, `<polyline points="`)
+	end := strings.Index(out[start:], `"`+` fill`)
+	pts := strings.Fields(out[start+len(`<polyline points="`) : start+end])
+	if len(pts) != 3 {
+		t.Errorf("points = %d, want 3 (zero skipped)", len(pts))
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := simpleChart()
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmin != 0 || xmax != 2 || ymin != 1 || ymax != 3 {
+		t.Errorf("bounds = %v %v %v %v", xmin, xmax, ymin, ymax)
+	}
+	// Log bounds are in log10 space.
+	lc := &Chart{LogY: true, Series: []Series{
+		{Name: "l", X: []float64{0, 1}, Y: []float64{1, 1000}},
+	}}
+	_, _, lmin, lmax, err := lc.bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lmin-0) > 1e-12 || math.Abs(lmax-3) > 1e-12 {
+		t.Errorf("log bounds = %v..%v, want 0..3", lmin, lmax)
+	}
+}
+
+func TestFlatSeriesGetsPadding(t *testing.T) {
+	c := &Chart{Series: []Series{
+		{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}},
+	}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("flat series failed: %v", err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if got := formatTick(2, true); got != "100" {
+		t.Errorf("log tick = %q, want 100", got)
+	}
+	if got := formatTick(2.5, false); got != "2.5" {
+		t.Errorf("tick = %q", got)
+	}
+}

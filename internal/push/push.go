@@ -1,0 +1,226 @@
+// Package push models the traditional push architecture the paper compares
+// against (§1, Figure 1a): a fixed-size texture memory local to the
+// accelerator, managed at whole-texture granularity by the application or
+// driver. Before any texel of a texture can be sampled, the entire texture
+// (all MIP levels, at original depth) must be downloaded into a contiguous
+// segment of local memory — the "segment manager" the paper calls a
+// provably hard bin-packing problem.
+//
+// The manager implements what a competent period driver did: first-fit
+// allocation over a free list, least-recently-used whole-texture eviction,
+// and compaction as a last resort when free space suffices but is
+// fragmented. Downloads, evictions, compactions and failures are counted
+// so the push architecture's real bandwidth (not just its lower bound) can
+// be compared with pull and L2 caching.
+package push
+
+import (
+	"fmt"
+	"sort"
+
+	"texcache/internal/texture"
+)
+
+// Config parameterises the local texture memory.
+type Config struct {
+	// LocalBytes is the accelerator-local texture memory capacity (the
+	// high-end InfiniteReality of the paper shipped 64 MB; PC parts of
+	// the era had 4-16 MB).
+	LocalBytes int64
+	// Align rounds segment sizes up (DRAM page granularity). Zero means
+	// 256 bytes.
+	Align int64
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	// DownloadBytes is host->local traffic: whole textures at original
+	// depth, counted on every (re-)load.
+	DownloadBytes int64
+	// Downloads counts texture loads; Evictions counts whole-texture
+	// evictions; Compactions counts defragmentation passes.
+	Downloads   int64
+	Evictions   int64
+	Compactions int64
+	// Failures counts textures that could not be made resident (larger
+	// than local memory); their accesses fall through to host memory.
+	Failures int64
+}
+
+// segment is an allocated region [off, off+size).
+type segment struct {
+	off, size int64
+	tid       texture.ID
+	lastUse   int64
+}
+
+// Manager is the push-architecture texture memory manager.
+type Manager struct {
+	cfg  Config
+	set  *texture.Set
+	tick int64
+	// resident maps texture id -> index into segs, or -1.
+	resident []int
+	segs     []*segment // allocated segments, unordered
+	usedByte int64
+	stats    Stats
+}
+
+// NewManager builds a manager over the texture registry.
+func NewManager(cfg Config, set *texture.Set) (*Manager, error) {
+	if cfg.LocalBytes <= 0 {
+		return nil, fmt.Errorf("push: non-positive local memory %d", cfg.LocalBytes)
+	}
+	if cfg.Align <= 0 {
+		cfg.Align = 256
+	}
+	m := &Manager{
+		cfg:      cfg,
+		set:      set,
+		resident: make([]int, set.Len()),
+	}
+	for i := range m.resident {
+		m.resident[i] = -1
+	}
+	return m, nil
+}
+
+// align rounds size up to the configured granularity.
+func (m *Manager) align(size int64) int64 {
+	a := m.cfg.Align
+	return (size + a - 1) / a * a
+}
+
+// Touch declares that the texture is needed now (a texel of it is about to
+// be sampled). It returns true if the texture is (or becomes) resident.
+// Non-resident textures are downloaded in full; if space is insufficient,
+// LRU textures are evicted and, when free space is sufficient but
+// fragmented, memory is compacted.
+func (m *Manager) Touch(tid texture.ID) bool {
+	m.tick++
+	if idx := m.resident[tid]; idx >= 0 {
+		m.segs[idx].lastUse = m.tick
+		return true
+	}
+	size := m.align(m.set.ByID(tid).HostBytes())
+	if size > m.cfg.LocalBytes {
+		m.stats.Failures++
+		return false
+	}
+	// Evict least-recently-used textures until the total free space can
+	// hold the new texture.
+	for m.cfg.LocalBytes-m.usedByte < size {
+		m.evictLRU()
+	}
+	off, ok := m.findHole(size)
+	if !ok {
+		// Enough free space in total, but fragmented: compact.
+		m.compact()
+		m.stats.Compactions++
+		off, ok = m.findHole(size)
+		if !ok {
+			// Cannot happen: compaction coalesces all free space.
+			panic("push: no hole after compaction")
+		}
+	}
+	seg := &segment{off: off, size: size, tid: tid, lastUse: m.tick}
+	m.resident[tid] = len(m.segs)
+	m.segs = append(m.segs, seg)
+	m.usedByte += size
+	m.stats.Downloads++
+	m.stats.DownloadBytes += m.set.ByID(tid).HostBytes()
+	return true
+}
+
+// evictLRU removes the least recently used resident texture.
+func (m *Manager) evictLRU() {
+	if len(m.segs) == 0 {
+		panic("push: eviction from empty memory")
+	}
+	lru := 0
+	for i, s := range m.segs {
+		if s.lastUse < m.segs[lru].lastUse {
+			lru = i
+		}
+	}
+	m.removeSegment(lru)
+	m.stats.Evictions++
+}
+
+// removeSegment deletes segs[i], maintaining the resident index map.
+func (m *Manager) removeSegment(i int) {
+	s := m.segs[i]
+	m.resident[s.tid] = -1
+	m.usedByte -= s.size
+	last := len(m.segs) - 1
+	m.segs[i] = m.segs[last]
+	m.segs = m.segs[:last]
+	if i < last {
+		m.resident[m.segs[i].tid] = i
+	}
+}
+
+// findHole first-fits a free region of at least size bytes, returning its
+// offset.
+func (m *Manager) findHole(size int64) (int64, bool) {
+	// Sort segments by offset and walk the gaps.
+	offs := make([]*segment, len(m.segs))
+	copy(offs, m.segs)
+	sort.Slice(offs, func(a, b int) bool { return offs[a].off < offs[b].off })
+	var cursor int64
+	for _, s := range offs {
+		if s.off-cursor >= size {
+			return cursor, true
+		}
+		cursor = s.off + s.size
+	}
+	if m.cfg.LocalBytes-cursor >= size {
+		return cursor, true
+	}
+	return 0, false
+}
+
+// compact slides every segment down to remove fragmentation (modelled as a
+// local-memory copy; no host traffic).
+func (m *Manager) compact() {
+	offs := make([]*segment, len(m.segs))
+	copy(offs, m.segs)
+	sort.Slice(offs, func(a, b int) bool { return offs[a].off < offs[b].off })
+	var cursor int64
+	for _, s := range offs {
+		s.off = cursor
+		cursor += s.size
+	}
+}
+
+// Resident reports whether the texture currently occupies local memory.
+func (m *Manager) Resident(tid texture.ID) bool { return m.resident[tid] >= 0 }
+
+// UsedBytes returns the bytes currently allocated.
+func (m *Manager) UsedBytes() int64 { return m.usedByte }
+
+// ResidentTextures returns the count of textures in local memory.
+func (m *Manager) ResidentTextures() int { return len(m.segs) }
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// FreeFragments returns the number of disjoint free regions — a direct
+// fragmentation measure of the bin-packing problem.
+func (m *Manager) FreeFragments() int {
+	offs := make([]*segment, len(m.segs))
+	copy(offs, m.segs)
+	sort.Slice(offs, func(a, b int) bool { return offs[a].off < offs[b].off })
+	frags := 0
+	var cursor int64
+	for _, s := range offs {
+		if s.off > cursor {
+			frags++
+		}
+		cursor = s.off + s.size
+	}
+	if cursor < m.cfg.LocalBytes {
+		frags++
+	}
+	return frags
+}

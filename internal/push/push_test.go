@@ -1,0 +1,210 @@
+package push
+
+import (
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+// mkSet builds a registry of n textures of the given square sizes.
+func mkSet(t *testing.T, sizes ...int) *texture.Set {
+	t.Helper()
+	s := texture.NewSet()
+	for i, sz := range sizes {
+		s.Register(texture.MustNew(
+			// Unique names aid debugging only.
+			string(rune('a'+i)), sz, sz, texture.RGBA8888, nil))
+	}
+	return s
+}
+
+func TestNewManagerRejects(t *testing.T) {
+	set := mkSet(t, 16)
+	if _, err := NewManager(Config{LocalBytes: 0}, set); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if _, err := NewManager(Config{LocalBytes: -5}, set); err == nil {
+		t.Error("negative memory accepted")
+	}
+}
+
+func TestTouchDownloadsOnce(t *testing.T) {
+	set := mkSet(t, 64, 64)
+	m, err := NewManager(Config{LocalBytes: 1 << 20}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Touch(0) {
+		t.Fatal("Touch failed with ample memory")
+	}
+	if !m.Touch(0) || !m.Touch(0) {
+		t.Fatal("resident texture refused")
+	}
+	st := m.Stats()
+	if st.Downloads != 1 {
+		t.Errorf("Downloads = %d, want 1 (re-touches are free)", st.Downloads)
+	}
+	if st.DownloadBytes != set.ByID(0).HostBytes() {
+		t.Errorf("DownloadBytes = %d, want %d", st.DownloadBytes, set.ByID(0).HostBytes())
+	}
+	if !m.Resident(0) || m.Resident(1) {
+		t.Error("residency wrong")
+	}
+}
+
+func TestWholeTextureGranularity(t *testing.T) {
+	// The push architecture downloads entire textures even if one texel
+	// is needed — the inefficiency the paper calls out.
+	set := mkSet(t, 256)
+	m, _ := NewManager(Config{LocalBytes: 1 << 20}, set)
+	m.Touch(0)
+	if got := m.Stats().DownloadBytes; got != set.ByID(0).HostBytes() {
+		t.Errorf("downloaded %d bytes, want the whole texture %d",
+			got, set.ByID(0).HostBytes())
+	}
+}
+
+func alignUp(v int64) int64 { return (v + 255) / 256 * 256 }
+
+func TestLRUEviction(t *testing.T) {
+	// Three equal textures in memory sized for exactly two (aligned).
+	set := mkSet(t, 128, 128, 128)
+	one := alignUp(set.ByID(0).HostBytes())
+	m, _ := NewManager(Config{LocalBytes: one * 2}, set)
+	m.Touch(0)
+	m.Touch(1)
+	if m.ResidentTextures() != 2 {
+		t.Fatalf("resident = %d, want 2", m.ResidentTextures())
+	}
+	m.Touch(2) // evicts 0 (least recently used)
+	if m.Resident(0) {
+		t.Error("LRU texture 0 still resident")
+	}
+	if !m.Resident(1) || !m.Resident(2) {
+		t.Error("wrong texture evicted")
+	}
+	if got := m.Stats().Evictions; got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+	// Re-touching 0 re-downloads it (thrash).
+	m.Touch(0)
+	if got := m.Stats().Downloads; got != 4 {
+		t.Errorf("Downloads = %d, want 4", got)
+	}
+}
+
+func TestTouchRefreshesLRU(t *testing.T) {
+	set := mkSet(t, 128, 128, 128)
+	one := alignUp(set.ByID(0).HostBytes())
+	m, _ := NewManager(Config{LocalBytes: one * 2}, set)
+	m.Touch(0)
+	m.Touch(1)
+	m.Touch(0) // refresh 0: now 1 is LRU
+	m.Touch(2)
+	if m.Resident(1) {
+		t.Error("texture 1 should have been the LRU victim")
+	}
+	if !m.Resident(0) {
+		t.Error("recently used texture 0 evicted")
+	}
+}
+
+func TestOversizeTextureFails(t *testing.T) {
+	set := mkSet(t, 512, 16)
+	m, _ := NewManager(Config{LocalBytes: 64 << 10}, set)
+	if m.Touch(0) {
+		t.Error("texture larger than local memory became resident")
+	}
+	if got := m.Stats().Failures; got != 1 {
+		t.Errorf("Failures = %d, want 1", got)
+	}
+	// Small textures still work afterwards.
+	if !m.Touch(1) {
+		t.Error("small texture refused after failure")
+	}
+}
+
+func TestFragmentationAndCompaction(t *testing.T) {
+	// Sizes chosen so that after evicting a middle texture the free
+	// space is split and a larger texture forces compaction.
+	set := texture.NewSet()
+	set.Register(texture.MustNew("a", 128, 128, texture.RGBA8888, nil)) // ~87K
+	set.Register(texture.MustNew("b", 128, 128, texture.RGBA8888, nil))
+	set.Register(texture.MustNew("c", 128, 128, texture.RGBA8888, nil))
+	set.Register(texture.MustNew("d", 128, 256, texture.RGBA8888, nil)) // ~175K
+	one := set.ByID(0).HostBytes()
+	local := alignUp(one)*3 + 512 // room for exactly three small textures
+
+	m, _ := NewManager(Config{LocalBytes: local}, set)
+	m.Touch(0)
+	m.Touch(1)
+	m.Touch(2)
+	// Re-touch 1 so the outer segments 0 and 2 are the LRU victims: the
+	// surviving middle segment splits the free space into two holes.
+	m.Touch(1)
+	// d needs two small slots' worth of contiguous space; with the free
+	// space fragmented around segment 1, compaction is required.
+	if !m.Touch(3) {
+		t.Fatal("large texture failed to load")
+	}
+	if !m.Resident(3) {
+		t.Fatal("large texture not resident")
+	}
+	st := m.Stats()
+	if st.Evictions < 2 {
+		t.Errorf("Evictions = %d, want >= 2", st.Evictions)
+	}
+	if st.Compactions < 1 {
+		t.Errorf("Compactions = %d, want >= 1 (fragmented free space)", st.Compactions)
+	}
+	// Memory accounting stays consistent.
+	if m.UsedBytes() > local {
+		t.Errorf("UsedBytes %d exceeds capacity %d", m.UsedBytes(), local)
+	}
+}
+
+func TestFreeFragments(t *testing.T) {
+	set := mkSet(t, 64, 64, 64)
+	one := set.ByID(0).HostBytes()
+	m, _ := NewManager(Config{LocalBytes: one * 8}, set)
+	if got := m.FreeFragments(); got != 1 {
+		t.Errorf("empty memory fragments = %d, want 1", got)
+	}
+	m.Touch(0)
+	m.Touch(1)
+	m.Touch(2)
+	// Contiguously allocated from offset 0: one free fragment at the end.
+	if got := m.FreeFragments(); got != 1 {
+		t.Errorf("fragments = %d, want 1", got)
+	}
+}
+
+func TestManyTexturesChurn(t *testing.T) {
+	// Random-ish access over more textures than fit; invariants must
+	// hold throughout.
+	sizes := make([]int, 12)
+	for i := range sizes {
+		sizes[i] = 64 << (i % 3) // 64, 128, 256
+	}
+	set := mkSet(t, sizes...)
+	m, _ := NewManager(Config{LocalBytes: 512 << 10}, set)
+	state := uint64(42)
+	for i := 0; i < 2000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		tid := texture.ID(state % 12)
+		if !m.Touch(tid) {
+			t.Fatalf("step %d: Touch(%d) failed", i, tid)
+		}
+		if !m.Resident(tid) {
+			t.Fatalf("step %d: texture %d not resident after Touch", i, tid)
+		}
+		if m.UsedBytes() > 512<<10 {
+			t.Fatalf("step %d: over capacity", i)
+		}
+	}
+	if m.Stats().Downloads <= 12 {
+		t.Error("no churn observed; test misconfigured")
+	}
+}

@@ -1,0 +1,83 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
+)
+
+// TestSharedEdgeWatertight splits random convex quads into two triangles
+// along the diagonal and checks that no pixel is rasterized twice and the
+// union equals the quad rendered as two fans from the other diagonal
+// within a tolerance. Watertightness matters because double-rasterized
+// edges would inflate depth complexity and texel counts.
+func TestSharedEdgeWatertight(t *testing.T) {
+	const w, h = 64, 64
+	rng := rand.New(rand.NewSource(99))
+	tex := texture.MustNew("t", 64, 64, texture.RGBA8888, nil)
+
+	for trial := 0; trial < 50; trial++ {
+		// A random convex quad in clip space, built from a rectangle
+		// with jittered corners (jitter kept small enough to preserve
+		// convexity).
+		cx := rng.Float64()*1.2 - 0.6
+		cy := rng.Float64()*1.2 - 0.6
+		rx := 0.2 + rng.Float64()*0.5
+		ry := 0.2 + rng.Float64()*0.5
+		j := func() float64 { return (rng.Float64() - 0.5) * 0.1 }
+		mk := func(x, y float64) Vertex {
+			return Vertex{Pos: vecmath.Vec4{X: x, Y: y, Z: 0, W: 1}}
+		}
+		a := mk(cx-rx+j(), cy-ry+j())
+		b := mk(cx+rx+j(), cy-ry+j())
+		c := mk(cx+rx+j(), cy+ry+j())
+		d := mk(cx-rx+j(), cy+ry+j())
+
+		r := MustNew(Config{Width: w, Height: h, Mode: Point})
+
+		r.BeginFrame()
+		r.DrawTriangle(tex, a, b, c, 1)
+		r.DrawTriangle(tex, a, c, d, 1)
+		diag1 := r.Pixels()
+
+		r.BeginFrame()
+		r.DrawTriangle(tex, b, c, d, 1)
+		r.DrawTriangle(tex, b, d, a, 1)
+		diag2 := r.Pixels()
+
+		// The same quad split along the other diagonal must cover the
+		// same pixel count (shared-edge pixels counted exactly once in
+		// both splits). Allow a 2-pixel slack for the pixels through
+		// which the two different diagonals pass.
+		delta := diag1 - diag2
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > 2 {
+			t.Fatalf("trial %d: diagonal splits cover %d vs %d pixels",
+				trial, diag1, diag2)
+		}
+	}
+}
+
+// TestAbuttingTrianglesNoSeam renders a quad as two triangles and as a
+// single covering pass, verifying identical total coverage (no seam gaps
+// along the shared edge).
+func TestAbuttingTrianglesNoSeam(t *testing.T) {
+	const w, h = 48, 48
+	tex := texture.MustNew("t", 64, 64, texture.RGBA8888, nil)
+	mk := func(x, y float64) Vertex {
+		return Vertex{Pos: vecmath.Vec4{X: x, Y: y, Z: 0, W: 1}}
+	}
+	// Full-viewport quad: the two splits must cover exactly w*h.
+	a, b, c, d := mk(-1, -1), mk(1, -1), mk(1, 1), mk(-1, 1)
+	r := MustNew(Config{Width: w, Height: h, Mode: Point})
+	r.BeginFrame()
+	r.DrawTriangle(tex, a, b, c, 1)
+	r.DrawTriangle(tex, a, c, d, 1)
+	if got := r.Pixels(); got != w*h {
+		t.Errorf("coverage = %d, want %d (gap or overlap at shared edge)", got, w*h)
+	}
+}

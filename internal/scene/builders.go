@@ -1,0 +1,119 @@
+package scene
+
+import (
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
+)
+
+// Quad appends two triangles forming the quad a-b-c-d (in winding order)
+// to the mesh. Texture coordinates run from (0,0) at a to (ru, rv) at c,
+// so ru and rv set how many times the texture repeats across the quad —
+// the "repeated textures" reuse pattern both workloads exhibit.
+func (m *Mesh) Quad(a, b, c, d vecmath.Vec3, tex *texture.Texture, ru, rv float64) {
+	uvA := vecmath.Vec2{X: 0, Y: 0}
+	uvB := vecmath.Vec2{X: ru, Y: 0}
+	uvC := vecmath.Vec2{X: ru, Y: rv}
+	uvD := vecmath.Vec2{X: 0, Y: rv}
+	m.Add(
+		Triangle{P: [3]vecmath.Vec3{a, b, c}, UV: [3]vecmath.Vec2{uvA, uvB, uvC}, Tex: tex},
+		Triangle{P: [3]vecmath.Vec3{a, c, d}, UV: [3]vecmath.Vec2{uvA, uvC, uvD}, Tex: tex},
+	)
+}
+
+// BoxTextures assigns textures to the faces of a box. A nil face is
+// omitted (e.g. no bottom on buildings).
+type BoxTextures struct {
+	Sides, Top, Bottom *texture.Texture
+	// SideRepeat and TopRepeat control texture tiling on the faces.
+	SideRepeatU, SideRepeatV float64
+	TopRepeatU, TopRepeatV   float64
+}
+
+// Box appends an axis-aligned box spanning min..max.
+func (m *Mesh) Box(min, max vecmath.Vec3, bt BoxTextures) {
+	sru, srv := bt.SideRepeatU, bt.SideRepeatV
+	if sru == 0 {
+		sru = 1
+	}
+	if srv == 0 {
+		srv = 1
+	}
+	tru, trv := bt.TopRepeatU, bt.TopRepeatV
+	if tru == 0 {
+		tru = 1
+	}
+	if trv == 0 {
+		trv = 1
+	}
+	v := func(x, y, z float64) vecmath.Vec3 { return vecmath.Vec3{X: x, Y: y, Z: z} }
+	if bt.Sides != nil {
+		// Four walls, wound outward.
+		m.Quad(v(min.X, min.Y, max.Z), v(max.X, min.Y, max.Z),
+			v(max.X, max.Y, max.Z), v(min.X, max.Y, max.Z), bt.Sides, sru, srv) // +Z
+		m.Quad(v(max.X, min.Y, min.Z), v(min.X, min.Y, min.Z),
+			v(min.X, max.Y, min.Z), v(max.X, max.Y, min.Z), bt.Sides, sru, srv) // -Z
+		m.Quad(v(max.X, min.Y, max.Z), v(max.X, min.Y, min.Z),
+			v(max.X, max.Y, min.Z), v(max.X, max.Y, max.Z), bt.Sides, sru, srv) // +X
+		m.Quad(v(min.X, min.Y, min.Z), v(min.X, min.Y, max.Z),
+			v(min.X, max.Y, max.Z), v(min.X, max.Y, min.Z), bt.Sides, sru, srv) // -X
+	}
+	if bt.Top != nil {
+		m.Quad(v(min.X, max.Y, max.Z), v(max.X, max.Y, max.Z),
+			v(max.X, max.Y, min.Z), v(min.X, max.Y, min.Z), bt.Top, tru, trv)
+	}
+	if bt.Bottom != nil {
+		m.Quad(v(min.X, min.Y, min.Z), v(max.X, min.Y, min.Z),
+			v(max.X, min.Y, max.Z), v(min.X, min.Y, max.Z), bt.Bottom, tru, trv)
+	}
+}
+
+// GroundGrid appends a horizontal grid of quads at height y spanning
+// [-halfX, halfX] x [-halfZ, halfZ], split into nx-by-nz cells, each cell
+// repeating the texture (ru, rv) times. Splitting the ground into many
+// triangles matches how real terrain databases tessellate, exercising
+// intra-object locality across triangles.
+func (m *Mesh) GroundGrid(y, halfX, halfZ float64, nx, nz int,
+	tex *texture.Texture, ru, rv float64) {
+	dx := 2 * halfX / float64(nx)
+	dz := 2 * halfZ / float64(nz)
+	for iz := 0; iz < nz; iz++ {
+		for ix := 0; ix < nx; ix++ {
+			x0 := -halfX + float64(ix)*dx
+			z0 := -halfZ + float64(iz)*dz
+			a := vecmath.Vec3{X: x0, Y: y, Z: z0 + dz}
+			b := vecmath.Vec3{X: x0 + dx, Y: y, Z: z0 + dz}
+			c := vecmath.Vec3{X: x0 + dx, Y: y, Z: z0}
+			d := vecmath.Vec3{X: x0, Y: y, Z: z0}
+			m.Quad(a, b, c, d, tex, ru, rv)
+		}
+	}
+}
+
+// SkyDome appends a large inward-facing box acting as a sky backdrop. The
+// sky fills every pixel not covered by geometry, contributing the constant
+// background component of depth complexity.
+func (m *Mesh) SkyDome(half float64, height float64, tex *texture.Texture) {
+	v := func(x, y, z float64) vecmath.Vec3 { return vecmath.Vec3{X: x, Y: y, Z: z} }
+	// Four inward-facing walls plus a ceiling.
+	m.Quad(v(-half, -10, -half), v(half, -10, -half),
+		v(half, height, -half), v(-half, height, -half), tex, 1, 1)
+	m.Quad(v(half, -10, half), v(-half, -10, half),
+		v(-half, height, half), v(half, height, half), tex, 1, 1)
+	m.Quad(v(-half, -10, half), v(-half, -10, -half),
+		v(-half, height, -half), v(-half, height, half), tex, 1, 1)
+	m.Quad(v(half, -10, -half), v(half, -10, half),
+		v(half, height, half), v(half, height, -half), tex, 1, 1)
+	m.Quad(v(-half, height, -half), v(half, height, -half),
+		v(half, height, half), v(-half, height, half), tex, 1, 1)
+}
+
+// Billboard appends a vertical quad centred at base facing +Z and -Z (two
+// sided via the pipeline's double-sided shading), used for trees.
+func (m *Mesh) Billboard(base vecmath.Vec3, width, height float64, tex *texture.Texture) {
+	hw := width / 2
+	a := vecmath.Vec3{X: base.X - hw, Y: base.Y, Z: base.Z}
+	b := vecmath.Vec3{X: base.X + hw, Y: base.Y, Z: base.Z}
+	c := vecmath.Vec3{X: base.X + hw, Y: base.Y + height, Z: base.Z}
+	d := vecmath.Vec3{X: base.X - hw, Y: base.Y + height, Z: base.Z}
+	m.Quad(a, b, c, d, tex, 1, 1)
+}

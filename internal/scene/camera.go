@@ -1,0 +1,124 @@
+package scene
+
+import (
+	"math"
+
+	"texcache/internal/vecmath"
+)
+
+// Camera defines the viewer.
+type Camera struct {
+	Eye, Target, Up vecmath.Vec3
+	FovY            float64 // vertical field of view, radians
+	Aspect          float64 // width / height
+	Near, Far       float64
+}
+
+// DefaultCamera returns a camera with sensible projection parameters for
+// the given viewport aspect ratio.
+func DefaultCamera(aspect float64) Camera {
+	return Camera{
+		Eye:    vecmath.Vec3{Z: 5},
+		Target: vecmath.Vec3{},
+		Up:     vecmath.Vec3{Y: 1},
+		FovY:   math.Pi / 3,
+		Aspect: aspect,
+		Near:   0.1,
+		Far:    2000,
+	}
+}
+
+// View returns the world-to-view matrix.
+func (c Camera) View() vecmath.Mat4 {
+	return vecmath.LookAt(c.Eye, c.Target, c.Up)
+}
+
+// Proj returns the projection matrix.
+func (c Camera) Proj() vecmath.Mat4 {
+	return vecmath.Perspective(c.FovY, c.Aspect, c.Near, c.Far)
+}
+
+// ViewProj returns projection * view.
+func (c Camera) ViewProj() vecmath.Mat4 {
+	return c.Proj().Mul(c.View())
+}
+
+// Waypoint is one keyframe of a scripted camera animation: where the eye
+// is and what it looks at.
+type Waypoint struct {
+	Eye, Target vecmath.Vec3
+}
+
+// Path is a scripted camera animation through waypoints, interpolated with
+// Catmull-Rom splines so that the viewpoint moves smoothly and
+// incrementally between frames — the property that creates the paper's
+// inter-frame texture locality.
+type Path struct {
+	Points []Waypoint
+}
+
+// At evaluates the path at t in [0, 1] (clamped).
+func (p Path) At(t float64) Waypoint {
+	n := len(p.Points)
+	switch n {
+	case 0:
+		return Waypoint{Eye: vecmath.Vec3{Z: 1}}
+	case 1:
+		return p.Points[0]
+	}
+	if t <= 0 {
+		return p.Points[0]
+	}
+	if t >= 1 {
+		return p.Points[n-1]
+	}
+	// Map t onto segment [i, i+1] of n-1 segments.
+	ft := t * float64(n-1)
+	i := int(ft)
+	if i >= n-1 {
+		i = n - 2
+	}
+	u := ft - float64(i)
+
+	get := func(k int) Waypoint {
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		return p.Points[k]
+	}
+	p0, p1, p2, p3 := get(i-1), get(i), get(i+1), get(i+2)
+	return Waypoint{
+		Eye:    catmullRom(p0.Eye, p1.Eye, p2.Eye, p3.Eye, u),
+		Target: catmullRom(p0.Target, p1.Target, p2.Target, p3.Target, u),
+	}
+}
+
+// CameraAt returns a full camera for frame f of total frames, preserving
+// the base camera's projection parameters.
+func (p Path) CameraAt(base Camera, frame, frames int) Camera {
+	t := 0.0
+	if frames > 1 {
+		t = float64(frame) / float64(frames-1)
+	}
+	w := p.At(t)
+	base.Eye = w.Eye
+	base.Target = w.Target
+	return base
+}
+
+// catmullRom evaluates the uniform Catmull-Rom spline segment p1..p2.
+func catmullRom(p0, p1, p2, p3 vecmath.Vec3, t float64) vecmath.Vec3 {
+	t2 := t * t
+	t3 := t2 * t
+	f := func(a, b, c, d float64) float64 {
+		return 0.5 * ((2 * b) + (-a+c)*t + (2*a-5*b+4*c-d)*t2 + (-a+3*b-3*c+d)*t3)
+	}
+	return vecmath.Vec3{
+		X: f(p0.X, p1.X, p2.X, p3.X),
+		Y: f(p0.Y, p1.Y, p2.Y, p3.Y),
+		Z: f(p0.Z, p1.Z, p2.Z, p3.Z),
+	}
+}

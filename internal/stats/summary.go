@@ -1,0 +1,105 @@
+package stats
+
+import "texcache/internal/texture"
+
+// Summary aggregates per-frame statistics across an animation, yielding
+// the averaged quantities the paper's tables report.
+type Summary struct {
+	Frames int
+	// ScreenPixels is the screen resolution R used for depth complexity.
+	ScreenPixels int64
+	// DepthComplexity is the average pixels rendered per screen pixel.
+	DepthComplexity float64
+	// AvgTexelRefs is the mean texel references per frame.
+	AvgTexelRefs float64
+	// PerLayout aggregates each tracked granularity.
+	PerLayout []LayoutSummary
+	// AvgPushBytes is the mean minimum push-architecture memory.
+	AvgPushBytes float64
+	// MaxPushBytes is the peak minimum push-architecture memory.
+	MaxPushBytes int64
+	// HostLoadedBytes is the final total texture residency.
+	HostLoadedBytes int64
+	// LevelRefs is the total MIP-level reference histogram.
+	LevelRefs [MaxLevels]int64
+}
+
+// LayoutSummary aggregates one granularity over all frames.
+type LayoutSummary struct {
+	Layout texture.TileLayout
+	// AvgBlocks and AvgNewBlocks are per-frame means.
+	AvgBlocks, AvgNewBlocks float64
+	// MaxBlocks is the largest per-frame block count ("minimum memory"
+	// in Figure 4 is this series; its max sizes a cache that never
+	// overflows within a frame).
+	MaxBlocks int64
+	// AvgBytes and AvgNewBytes are the means in bytes at 32-bit texels.
+	AvgBytes, AvgNewBytes float64
+	// MaxBytes is MaxBlocks in bytes.
+	MaxBytes int64
+	// Utilization is the mean block utilisation.
+	Utilization float64
+}
+
+// Summarize reduces the frame series. screenPixels is the display
+// resolution R (e.g. 1024*768) used to derive depth complexity.
+func Summarize(frames []Frame, screenPixels int64) Summary {
+	s := Summary{Frames: len(frames), ScreenPixels: screenPixels}
+	if len(frames) == 0 {
+		return s
+	}
+	n := float64(len(frames))
+	var pixels, texels, push int64
+	for _, f := range frames {
+		pixels += f.Pixels
+		texels += f.TexelRefs
+		push += f.PushBytes
+		if f.PushBytes > s.MaxPushBytes {
+			s.MaxPushBytes = f.PushBytes
+		}
+		for m, n := range f.LevelRefs {
+			s.LevelRefs[m] += n
+		}
+	}
+	if screenPixels > 0 {
+		s.DepthComplexity = float64(pixels) / n / float64(screenPixels)
+	}
+	s.AvgTexelRefs = float64(texels) / n
+	s.AvgPushBytes = float64(push) / n
+	s.HostLoadedBytes = frames[len(frames)-1].HostLoadedBytes
+
+	for li := range frames[0].PerLayout {
+		layout := frames[0].PerLayout[li].Layout
+		ls := LayoutSummary{Layout: layout}
+		var blocks, fresh int64
+		var utilSum float64
+		for _, f := range frames {
+			l := f.PerLayout[li]
+			blocks += l.Blocks
+			fresh += l.NewBlocks
+			if l.Blocks > ls.MaxBlocks {
+				ls.MaxBlocks = l.Blocks
+			}
+			utilSum += f.Utilization(layout)
+		}
+		blockBytes := float64(layout.L2BlockBytes())
+		ls.AvgBlocks = float64(blocks) / n
+		ls.AvgNewBlocks = float64(fresh) / n
+		ls.AvgBytes = ls.AvgBlocks * blockBytes
+		ls.AvgNewBytes = ls.AvgNewBlocks * blockBytes
+		ls.MaxBytes = ls.MaxBlocks * int64(layout.L2BlockBytes())
+		ls.Utilization = utilSum / n
+		s.PerLayout = append(s.PerLayout, ls)
+	}
+	return s
+}
+
+// Layout returns the summary for the given layout, or false.
+func (s *Summary) Layout(layout texture.TileLayout) (LayoutSummary, bool) {
+	for _, l := range s.PerLayout {
+		if l.Layout == layout {
+			return l, true
+		}
+	}
+	return LayoutSummary{}, false
+}

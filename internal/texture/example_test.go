@@ -1,0 +1,44 @@
+package texture_test
+
+import (
+	"fmt"
+
+	"texcache/internal/texture"
+)
+
+// ExampleTiling_Addr shows the virtual texture addressing of §2.2: a texel
+// coordinate within a MIP level translates to <tid, L2, L1> with a few
+// shifts and a table lookup.
+func ExampleTiling_Addr() {
+	tex := texture.MustNew("bricks", 64, 64, texture.RGB888, nil)
+	tex.ID = 7
+	tiling := texture.MustNewTiling(tex, texture.TileLayout{L2Size: 16, L1Size: 4})
+
+	// Texel (17, 9) of the base level: L2 tile (1, 0), sub-tile (0, 2)
+	// within it.
+	a := tiling.Addr(17, 9, 0)
+	fmt.Printf("tid=%d L2=%d L1=%d\n", a.TID, a.L2, a.L1)
+	// The 1x1 MIP level is block 0 (numbering starts at the lowest level).
+	fmt.Printf("lowest level block: %d\n", tiling.Addr(0, 0, tex.NumLevels()-1).L2)
+	// Output:
+	// tid=7 L2=10 L1=8
+	// lowest level block: 0
+}
+
+// ExampleSet shows host-driver texture registration and page-table
+// allocation.
+func ExampleSet() {
+	set := texture.NewSet()
+	set.Register(texture.MustNew("a", 32, 32, texture.RGBA8888, nil))
+	set.Register(texture.MustNew("b", 32, 32, texture.L8, nil))
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	set.MustPrepare(layout)
+
+	fmt.Printf("textures: %d\n", set.Len())
+	fmt.Printf("page table entries: %d\n", set.PageTableEntries(layout))
+	fmt.Printf("texture b starts at entry %d\n", set.Start(layout, 1))
+	// Output:
+	// textures: 2
+	// page table entries: 18
+	// texture b starts at entry 9
+}

@@ -1,0 +1,190 @@
+package texture
+
+import "math"
+
+// RGBA is an 8-bit-per-channel colour sample produced by a Pattern.
+type RGBA struct {
+	R, G, B, A uint8
+}
+
+// Pattern supplies procedural texel content. The paper's workloads use image
+// databases we do not have; procedural patterns stand in for them when
+// rendering snapshot frames. Cache behaviour is independent of content.
+//
+// At receives normalized coordinates in [0,1) of the texel centre at the
+// base level; implementations should be deterministic.
+type Pattern interface {
+	At(u, v float64) RGBA
+}
+
+// Solid is a single flat colour.
+type Solid struct{ C RGBA }
+
+// At implements Pattern.
+func (s Solid) At(u, v float64) RGBA { return s.C }
+
+// Checker alternates two colours in an N x N grid.
+type Checker struct {
+	A, B RGBA
+	N    int
+}
+
+// At implements Pattern.
+func (c Checker) At(u, v float64) RGBA {
+	n := c.N
+	if n <= 0 {
+		n = 8
+	}
+	iu := int(u * float64(n))
+	iv := int(v * float64(n))
+	if (iu+iv)%2 == 0 {
+		return c.A
+	}
+	return c.B
+}
+
+// Brick draws a running-bond brick pattern with mortar lines.
+type Brick struct {
+	Brick, Mortar RGBA
+	Rows          int
+}
+
+// At implements Pattern.
+func (b Brick) At(u, v float64) RGBA {
+	rows := b.Rows
+	if rows <= 0 {
+		rows = 8
+	}
+	fv := v * float64(rows)
+	row := int(fv)
+	fu := u * float64(rows) / 2
+	if row%2 == 1 {
+		fu += 0.5
+	}
+	_, fracU := math.Modf(fu)
+	_, fracV := math.Modf(fv)
+	if fracU < 0.06 || fracV < 0.1 {
+		return b.Mortar
+	}
+	return b.Brick
+}
+
+// Stripes draws horizontal stripes of two colours.
+type Stripes struct {
+	A, B RGBA
+	N    int
+}
+
+// At implements Pattern.
+func (s Stripes) At(u, v float64) RGBA {
+	n := s.N
+	if n <= 0 {
+		n = 8
+	}
+	if int(v*float64(n))%2 == 0 {
+		return s.A
+	}
+	return s.B
+}
+
+// Windows draws a building facade: a wall colour with a regular grid of
+// window cells.
+type Windows struct {
+	Wall, Glass RGBA
+	Cols, Rows  int
+}
+
+// At implements Pattern.
+func (w Windows) At(u, v float64) RGBA {
+	cols, rows := w.Cols, w.Rows
+	if cols <= 0 {
+		cols = 6
+	}
+	if rows <= 0 {
+		rows = 8
+	}
+	_, fu := math.Modf(u * float64(cols))
+	_, fv := math.Modf(v * float64(rows))
+	if fu > 0.25 && fu < 0.75 && fv > 0.3 && fv < 0.8 {
+		return w.Glass
+	}
+	return w.Wall
+}
+
+// Noise is deterministic value noise derived from an integer hash; Seed
+// varies the field.
+type Noise struct {
+	Base  RGBA
+	Vary  uint8 // amplitude of brightness variation
+	Scale int   // feature frequency
+	Seed  uint32
+}
+
+// At implements Pattern.
+func (n Noise) At(u, v float64) RGBA {
+	scale := n.Scale
+	if scale <= 0 {
+		scale = 32
+	}
+	iu := uint32(u * float64(scale))
+	iv := uint32(v * float64(scale))
+	h := hash3(iu, iv, n.Seed)
+	d := int(h % uint32(int(n.Vary)+1))
+	add := func(c uint8) uint8 {
+		s := int(c) + d - int(n.Vary)/2
+		if s < 0 {
+			s = 0
+		}
+		if s > 255 {
+			s = 255
+		}
+		return uint8(s)
+	}
+	return RGBA{add(n.Base.R), add(n.Base.G), add(n.Base.B), n.Base.A}
+}
+
+// SkyGradient blends from a horizon colour at v=1 to a zenith colour at v=0.
+type SkyGradient struct {
+	Zenith, Horizon RGBA
+}
+
+// At implements Pattern.
+func (s SkyGradient) At(u, v float64) RGBA {
+	mix := func(a, b uint8) uint8 {
+		return uint8(float64(a)*(1-v) + float64(b)*v)
+	}
+	return RGBA{
+		mix(s.Zenith.R, s.Horizon.R),
+		mix(s.Zenith.G, s.Horizon.G),
+		mix(s.Zenith.B, s.Horizon.B),
+		255,
+	}
+}
+
+// hash3 is a small avalanching integer hash for deterministic noise.
+func hash3(x, y, s uint32) uint32 {
+	h := x*0x9E3779B1 ^ y*0x85EBCA77 ^ s*0xC2B2AE3D
+	h ^= h >> 15
+	h *= 0x2545F491
+	h ^= h >> 13
+	return h
+}
+
+// Sample evaluates the texture's pattern at integer texel coordinates of
+// MIP level m. Coordinates are wrapped. Textures without a Pattern sample
+// as mid-grey.
+func (t *Texture) Sample(u, v, m int) RGBA {
+	m = t.ClampLevel(m)
+	l := t.Levels[m]
+	u = WrapTexel(u, l.Width)
+	v = WrapTexel(v, l.Height)
+	if t.Pattern == nil {
+		return RGBA{128, 128, 128, 255}
+	}
+	// Evaluate at the texel centre in normalized coordinates. MIP
+	// filtering is approximated by sampling the analytic pattern at the
+	// coarser level's sample spacing, which is adequate for snapshots.
+	fu := (float64(u) + 0.5) / float64(l.Width)
+	fv := (float64(v) + 0.5) / float64(l.Height)
+	return t.Pattern.At(fu, fv)
+}

@@ -1,0 +1,88 @@
+package texture
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTilingPropertyRandom drives Addr/TexelOrigin with randomized texture
+// sizes, layouts and coordinates.
+func TestTilingPropertyRandom(t *testing.T) {
+	sizes := []int{16, 32, 64, 128, 256}
+	layouts := []TileLayout{{8, 4}, {16, 4}, {32, 4}, {16, 8}}
+	f := func(wi, hi, li, ui, vi, mi uint16) bool {
+		w := sizes[int(wi)%len(sizes)]
+		h := sizes[int(hi)%len(sizes)]
+		layout := layouts[int(li)%len(layouts)]
+		tex := MustNew("t", w, h, RGBA8888, nil)
+		ti := MustNewTiling(tex, layout)
+
+		m := int(mi) % tex.NumLevels()
+		l := tex.Levels[m]
+		u := int(ui) % l.Width
+		v := int(vi) % l.Height
+
+		a := ti.Addr(u, v, m)
+		// Address in range.
+		if a.L2 >= ti.NumL2Blocks() {
+			return false
+		}
+		if int(a.L1) >= layout.SubPerBlock() {
+			return false
+		}
+		// Inverse maps back to the containing sub-tile.
+		ou, ov, om, ok := ti.TexelOrigin(a.L2, a.L1)
+		if !ok || om != m {
+			return false
+		}
+		return u >= ou && u < ou+layout.L1Size && v >= ov && v < ov+layout.L1Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTilingAdjacencyProperty verifies that texels within the same L1
+// sub-tile share an address and texels in different sub-tiles do not.
+func TestTilingAdjacencyProperty(t *testing.T) {
+	tex := MustNew("t", 128, 128, RGBA8888, nil)
+	ti := MustNewTiling(tex, TileLayout{16, 4})
+	f := func(ui, vi uint16) bool {
+		u := int(ui) % 124
+		v := int(vi) % 124
+		base := ti.Addr(u, v, 0)
+		// Same 4x4 sub-tile: identical address.
+		su, sv := (u/4)*4, (v/4)*4
+		if ti.Addr(su, sv, 0) != base {
+			return false
+		}
+		// The texel 4 to the right is in a different sub-tile.
+		return ti.Addr(u+4, v, 0) != base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLevelBlockCountsProperty checks that the per-level block counts sum
+// to NumL2Blocks for arbitrary rectangular textures.
+func TestLevelBlockCountsProperty(t *testing.T) {
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 256, 1024}
+	f := func(wi, hi, li uint8) bool {
+		w := sizes[int(wi)%len(sizes)]
+		h := sizes[int(hi)%len(sizes)]
+		layouts := []TileLayout{{8, 4}, {16, 4}, {32, 4}}
+		layout := layouts[int(li)%len(layouts)]
+		tex := MustNew("t", w, h, L8, nil)
+		ti := MustNewTiling(tex, layout)
+		var sum int
+		for m := 0; m < tex.NumLevels(); m++ {
+			l := tex.Levels[m]
+			sum += ceilDiv(l.Width, layout.L2Size) * ceilDiv(l.Height, layout.L2Size)
+		}
+		return uint32(sum) == ti.NumL2Blocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+package texture
+
+import (
+	"testing"
+)
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		f    Format
+		want int
+	}{
+		{L8, 1}, {RGB565, 2}, {RGB888, 3}, {RGBA8888, 4},
+	}
+	for _, c := range cases {
+		if got := c.f.BytesPerTexel(); got != c.want {
+			t.Errorf("%v.BytesPerTexel() = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestNewMipChain(t *testing.T) {
+	tex, err := New("t", 256, 64, RGBA8888, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256x64 -> 128x32 -> 64x16 -> 32x8 -> 16x4 -> 8x2 -> 4x1 -> 2x1 -> 1x1
+	if got := tex.NumLevels(); got != 9 {
+		t.Fatalf("NumLevels = %d, want 9", got)
+	}
+	last := tex.Levels[len(tex.Levels)-1]
+	if last.Width != 1 || last.Height != 1 {
+		t.Errorf("last level = %+v, want 1x1", last)
+	}
+	if tex.Levels[3].Width != 32 || tex.Levels[3].Height != 8 {
+		t.Errorf("level 3 = %+v, want 32x8", tex.Levels[3])
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, sz := range [][2]int{{0, 16}, {16, 0}, {-4, 4}, {3, 16}, {16, 100}} {
+		if _, err := New("bad", sz[0], sz[1], L8, nil); err == nil {
+			t.Errorf("New(%dx%d) succeeded, want error", sz[0], sz[1])
+		}
+	}
+}
+
+func TestHostBytes(t *testing.T) {
+	tex := MustNew("t", 4, 4, RGBA8888, nil)
+	// Levels: 4x4 + 2x2 + 1x1 = 21 texels * 4 bytes.
+	if got := tex.HostBytes(); got != 84 {
+		t.Errorf("HostBytes = %d, want 84", got)
+	}
+	tex2 := MustNew("t2", 4, 4, L8, nil)
+	if got := tex2.HostBytes(); got != 21 {
+		t.Errorf("HostBytes L8 = %d, want 21", got)
+	}
+}
+
+func TestWrapTexel(t *testing.T) {
+	cases := []struct{ c, extent, want int }{
+		{0, 8, 0}, {7, 8, 7}, {8, 8, 0}, {9, 8, 1},
+		{-1, 8, 7}, {-8, 8, 0}, {-9, 8, 7}, {17, 8, 1},
+	}
+	for _, c := range cases {
+		if got := WrapTexel(c.c, c.extent); got != c.want {
+			t.Errorf("WrapTexel(%d, %d) = %d, want %d", c.c, c.extent, got, c.want)
+		}
+	}
+}
+
+func TestTileLayoutValidate(t *testing.T) {
+	good := []TileLayout{{8, 4}, {16, 4}, {32, 4}, {8, 8}, {16, 8}, {4, 4}}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", l, err)
+		}
+	}
+	bad := []TileLayout{{4, 8}, {0, 4}, {16, 0}, {12, 4}, {16, 3}}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", l)
+		}
+	}
+}
+
+func TestTileLayoutDerived(t *testing.T) {
+	l := TileLayout{16, 4}
+	if got := l.SubPerEdge(); got != 4 {
+		t.Errorf("SubPerEdge = %d, want 4", got)
+	}
+	if got := l.SubPerBlock(); got != 16 {
+		t.Errorf("SubPerBlock = %d, want 16", got)
+	}
+	if got := l.L2BlockBytes(); got != 1024 {
+		t.Errorf("L2BlockBytes = %d, want 1024", got)
+	}
+	if got := l.L1BlockBytes(); got != 64 {
+		t.Errorf("L1BlockBytes = %d, want 64", got)
+	}
+	if got := (TileLayout{32, 4}).SubPerBlock(); got != 64 {
+		t.Errorf("32/4 SubPerBlock = %d, want 64", got)
+	}
+}
+
+func TestTilingBlockNumbering(t *testing.T) {
+	// 64x64 texture with 16x16 L2 tiles:
+	// level 0: 64x64 -> 4x4 = 16 blocks
+	// level 1: 32x32 -> 2x2 = 4
+	// level 2: 16x16 -> 1
+	// level 3: 8x8   -> 1
+	// level 4: 4x4   -> 1
+	// level 5: 2x2   -> 1
+	// level 6: 1x1   -> 1
+	tex := MustNew("t", 64, 64, RGBA8888, nil)
+	ti := MustNewTiling(tex, TileLayout{16, 4})
+	if got := ti.NumL2Blocks(); got != 25 {
+		t.Fatalf("NumL2Blocks = %d, want 25", got)
+	}
+	// Block 0 is the 1x1 (lowest) level; the base level starts at 9.
+	if got := ti.Addr(0, 0, 6); got.L2 != 0 {
+		t.Errorf("lowest level L2 = %d, want 0", got.L2)
+	}
+	if got := ti.Addr(0, 0, 0); got.L2 != 9 {
+		t.Errorf("base level first L2 = %d, want 9", got.L2)
+	}
+	// Each new level begins with a unique L2 block.
+	seen := map[uint32]int{}
+	for m := 0; m < tex.NumLevels(); m++ {
+		a := ti.Addr(0, 0, m)
+		if prev, dup := seen[a.L2]; dup {
+			t.Errorf("levels %d and %d share first block %d", prev, m, a.L2)
+		}
+		seen[a.L2] = m
+	}
+}
+
+func TestTilingAddrWithinLevel(t *testing.T) {
+	tex := MustNew("t", 64, 64, RGBA8888, nil)
+	ti := MustNewTiling(tex, TileLayout{16, 4})
+	base := ti.Addr(0, 0, 0).L2
+
+	// Texel (17, 0) is in L2 tile (1, 0) of the base level.
+	a := ti.Addr(17, 0, 0)
+	if a.L2 != base+1 {
+		t.Errorf("L2 = %d, want %d", a.L2, base+1)
+	}
+	// Within that tile it is at sub-tile (0, 0).
+	if a.L1 != 0 {
+		t.Errorf("L1 = %d, want 0", a.L1)
+	}
+	// Texel (5, 9): sub-tile (1, 2) -> L1 = 2*4+1 = 9.
+	a = ti.Addr(5, 9, 0)
+	if a.L2 != base {
+		t.Errorf("L2 = %d, want %d", a.L2, base)
+	}
+	if a.L1 != 9 {
+		t.Errorf("L1 = %d, want 9", a.L1)
+	}
+	// Texel (16, 48): L2 tile (1, 3) -> base + 3*4 + 1.
+	a = ti.Addr(16, 48, 0)
+	if want := base + 13; a.L2 != want {
+		t.Errorf("L2 = %d, want %d", a.L2, want)
+	}
+}
+
+func TestTilingRoundTripExhaustive(t *testing.T) {
+	// For every texel of a small texture under several layouts, Addr must
+	// be invertible back to the containing sub-tile origin.
+	tex := MustNew("t", 32, 16, RGB565, nil)
+	for _, layout := range []TileLayout{{8, 4}, {16, 4}, {32, 4}, {16, 8}, {8, 8}} {
+		ti := MustNewTiling(tex, layout)
+		for m := 0; m < tex.NumLevels(); m++ {
+			l := tex.Levels[m]
+			for v := 0; v < l.Height; v++ {
+				for u := 0; u < l.Width; u++ {
+					a := ti.Addr(u, v, m)
+					ou, ov, om, ok := ti.TexelOrigin(a.L2, a.L1)
+					if !ok {
+						t.Fatalf("layout %+v: TexelOrigin(%d,%d) failed for (%d,%d,%d)",
+							layout, a.L2, a.L1, u, v, m)
+					}
+					if om != m {
+						t.Fatalf("layout %+v: level %d, want %d", layout, om, m)
+					}
+					if u-ou < 0 || u-ou >= layout.L1Size || v-ov < 0 || v-ov >= layout.L1Size {
+						t.Fatalf("layout %+v: texel (%d,%d) not within sub-tile at (%d,%d)",
+							layout, u, v, ou, ov)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTilingAddrUniqueAcrossSubTiles(t *testing.T) {
+	// Distinct sub-tiles must map to distinct <L2, L1> pairs.
+	tex := MustNew("t", 64, 64, RGBA8888, nil)
+	ti := MustNewTiling(tex, TileLayout{16, 4})
+	type key struct {
+		l2 uint32
+		l1 uint16
+	}
+	seen := map[key][3]int{}
+	for m := 0; m < tex.NumLevels(); m++ {
+		l := tex.Levels[m]
+		for v := 0; v < l.Height; v += 4 {
+			for u := 0; u < l.Width; u += 4 {
+				a := ti.Addr(u, v, m)
+				k := key{a.L2, a.L1}
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("tiles %v and (%d,%d,%d) collide at %+v", prev, u, v, m, k)
+				}
+				seen[k] = [3]int{u, v, m}
+			}
+		}
+	}
+	if len(seen) != int(totalSubTiles(tex, 4)) {
+		t.Errorf("unique addresses = %d, want %d", len(seen), totalSubTiles(tex, 4))
+	}
+}
+
+func totalSubTiles(tex *Texture, l1 int) int64 {
+	var n int64
+	for _, l := range tex.Levels {
+		n += int64(ceilDiv(l.Width, l1)) * int64(ceilDiv(l.Height, l1))
+	}
+	return n
+}
+
+func TestLevelOfL2(t *testing.T) {
+	tex := MustNew("t", 64, 64, RGBA8888, nil)
+	ti := MustNewTiling(tex, TileLayout{16, 4})
+	for m := 0; m < tex.NumLevels(); m++ {
+		a := ti.Addr(0, 0, m)
+		if got := ti.LevelOfL2(a.L2); got != m {
+			t.Errorf("LevelOfL2(%d) = %d, want %d", a.L2, got, m)
+		}
+	}
+	if got := ti.LevelOfL2(ti.NumL2Blocks()); got != -1 {
+		t.Errorf("LevelOfL2(out of range) = %d, want -1", got)
+	}
+}
+
+func TestSetRegistrationAndPageTable(t *testing.T) {
+	s := NewSet()
+	a := s.Register(MustNew("a", 64, 64, RGBA8888, nil))
+	b := s.Register(MustNew("b", 32, 32, L8, nil))
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("ids = %d, %d; want 0, 1", a.ID, b.ID)
+	}
+	layout := TileLayout{16, 4}
+	s.MustPrepare(layout)
+
+	// Texture a: 25 blocks (see numbering test). Texture b: 32x32 -> 4,
+	// then 16x16,8x8,4x4,2x2,1x1 -> 1 each = 9 blocks.
+	if got := s.Start(layout, a.ID); got != 0 {
+		t.Errorf("start(a) = %d, want 0", got)
+	}
+	if got := s.Start(layout, b.ID); got != 25 {
+		t.Errorf("start(b) = %d, want 25", got)
+	}
+	if got := s.PageTableEntries(layout); got != 34 {
+		t.Errorf("PageTableEntries = %d, want 34", got)
+	}
+	if got := s.HostBytes(); got != a.HostBytes()+b.HostBytes() {
+		t.Errorf("HostBytes = %d", got)
+	}
+	if s.ByID(0) != a || s.ByID(1) != b {
+		t.Error("ByID mismatch")
+	}
+}
+
+func TestSetRegisterAfterPreparePanics(t *testing.T) {
+	s := NewSet()
+	s.Register(MustNew("a", 16, 16, L8, nil))
+	s.MustPrepare(TileLayout{16, 4})
+	defer func() {
+		if recover() == nil {
+			t.Error("Register after Prepare did not panic")
+		}
+	}()
+	s.Register(MustNew("b", 16, 16, L8, nil))
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	pats := []Pattern{
+		Solid{RGBA{1, 2, 3, 4}},
+		Checker{RGBA{0, 0, 0, 255}, RGBA{255, 255, 255, 255}, 8},
+		Brick{RGBA{150, 60, 40, 255}, RGBA{200, 200, 190, 255}, 8},
+		Stripes{RGBA{10, 10, 10, 255}, RGBA{240, 240, 240, 255}, 4},
+		Windows{RGBA{90, 90, 100, 255}, RGBA{40, 60, 120, 255}, 6, 8},
+		Noise{RGBA{100, 120, 90, 255}, 40, 32, 7},
+		SkyGradient{RGBA{40, 80, 200, 255}, RGBA{200, 220, 255, 255}},
+	}
+	for i, p := range pats {
+		for _, uv := range [][2]float64{{0.1, 0.1}, {0.5, 0.9}, {0.99, 0.01}} {
+			a := p.At(uv[0], uv[1])
+			b := p.At(uv[0], uv[1])
+			if a != b {
+				t.Errorf("pattern %d not deterministic at %v", i, uv)
+			}
+		}
+	}
+}
+
+func TestCheckerPattern(t *testing.T) {
+	c := Checker{RGBA{0, 0, 0, 255}, RGBA{255, 255, 255, 255}, 2}
+	if got := c.At(0.1, 0.1); got != c.A {
+		t.Errorf("top-left cell = %v, want A", got)
+	}
+	if got := c.At(0.9, 0.1); got != c.B {
+		t.Errorf("adjacent cell = %v, want B", got)
+	}
+	if got := c.At(0.9, 0.9); got != c.A {
+		t.Errorf("diagonal cell = %v, want A", got)
+	}
+}
+
+func TestTextureSample(t *testing.T) {
+	tex := MustNew("t", 8, 8, RGBA8888, Solid{RGBA{9, 8, 7, 6}})
+	if got := tex.Sample(3, 3, 0); got != (RGBA{9, 8, 7, 6}) {
+		t.Errorf("Sample = %v", got)
+	}
+	// Level clamps and coordinates wrap rather than fault.
+	if got := tex.Sample(-100, 1000, 99); got != (RGBA{9, 8, 7, 6}) {
+		t.Errorf("Sample out of range = %v", got)
+	}
+	bare := MustNew("bare", 8, 8, RGBA8888, nil)
+	if got := bare.Sample(0, 0, 0); got != (RGBA{128, 128, 128, 255}) {
+		t.Errorf("nil pattern Sample = %v", got)
+	}
+}
+
+func TestClampLevel(t *testing.T) {
+	tex := MustNew("t", 16, 16, L8, nil) // 5 levels
+	if got := tex.ClampLevel(-3); got != 0 {
+		t.Errorf("clamp(-3) = %d", got)
+	}
+	if got := tex.ClampLevel(2); got != 2 {
+		t.Errorf("clamp(2) = %d", got)
+	}
+	if got := tex.ClampLevel(50); got != 4 {
+		t.Errorf("clamp(50) = %d", got)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// discardHandler drops all events; fuzzing only cares that Replay never
+// panics or loops on malformed input.
+type discardHandler struct{}
+
+func (discardHandler) BeginFrame()                   {}
+func (discardHandler) Texel(tid uint32, u, v, m int) {}
+func (discardHandler) EndFrame(pixels int64)         {}
+
+// FuzzReplay feeds arbitrary bytes to the decoder. Malformed streams must
+// produce an error (or succeed), never a panic or unbounded memory growth.
+func FuzzReplay(f *testing.F) {
+	// Seed with a valid stream.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(3, 100, 200, 2)
+	w.Texel(3, 101, 200, 2)
+	w.Texel(9, 0, 0, 0)
+	w.EndFrame(7)
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TXTR"))
+	f.Add([]byte{'T', 'X', 'T', 'R', 1, 0x01, 0x04, 0xFF})
+	f.Add([]byte{'T', 'X', 'T', 'R', 1, 0x01, 0x05, 0x80, 0x80, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must terminate without panicking.
+		_, _ = Replay(bytes.NewReader(data), discardHandler{})
+	})
+}
+
+// FuzzRoundTrip checks that any sequence of well-formed writer calls
+// decodes back to exactly the written events.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, spec []byte) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		type ev struct {
+			tid     uint32
+			u, v, m int
+		}
+		var want []ev
+		w.BeginFrame()
+		for i := 0; i+3 < len(spec); i += 4 {
+			e := ev{
+				tid: uint32(spec[i]),
+				u:   int(spec[i+1]) * 7,
+				v:   int(spec[i+2]) * 13,
+				m:   int(spec[i+3]) % 12,
+			}
+			want = append(want, e)
+			w.Texel(e.tid, e.u, e.v, e.m)
+		}
+		w.EndFrame(int64(len(want)))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		var got []ev
+		h := handlerFuncs{
+			texel: func(tid uint32, u, v, m int) {
+				got = append(got, ev{tid, u, v, m})
+			},
+		}
+		if _, err := Replay(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("events: got %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// handlerFuncs adapts closures to Handler for tests.
+type handlerFuncs struct {
+	texel func(tid uint32, u, v, m int)
+}
+
+func (handlerFuncs) BeginFrame() {}
+
+func (h handlerFuncs) Texel(tid uint32, u, v, m int) {
+	if h.texel != nil {
+		h.texel(tid, u, v, m)
+	}
+}
+
+func (handlerFuncs) EndFrame(pixels int64) {}

@@ -1,0 +1,233 @@
+// Package trace defines a compact binary format for texel reference
+// traces, enabling the trace-driven methodology of the paper: the
+// rasterizer records the reference stream once, and the cache simulator
+// replays it through many cache configurations without re-rendering.
+//
+// The format is a byte stream of opcodes with unsigned varint operands.
+// Texel coordinates are delta-encoded (zigzag varints) against the
+// previous sample, which compresses well because rasterization in scanline
+// order produces strongly coherent texture-space walks.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes of the stream. A stream is a header followed by frames; each
+// frame is opFrame, any number of state/sample ops, then opPixels closing
+// the frame with its rasterized pixel count.
+const (
+	opFrame   = 0x01 // begin frame
+	opTexture = 0x02 // set current texture id (uvarint)
+	opLevel   = 0x03 // set current MIP level (uvarint)
+	opSample  = 0x04 // texel at (last.u + zigzag, last.v + zigzag)
+	opPixels  = 0x05 // end frame; operand = pixels rasterized (uvarint)
+)
+
+// magic identifies trace streams; the trailing byte is the version.
+var magic = []byte{'T', 'X', 'T', 'R', 1}
+
+// Event is one decoded texel reference.
+type Event struct {
+	TID     uint32
+	U, V, M int
+}
+
+// Writer encodes a reference stream.
+type Writer struct {
+	w       *bufio.Writer
+	buf     [binary.MaxVarintLen64]byte
+	curTID  uint32
+	curM    int
+	lastU   int
+	lastV   int
+	started bool
+	inFrame bool
+	err     error
+}
+
+// NewWriter begins a stream on w.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{w: bufio.NewWriter(w)}
+	_, tw.err = tw.w.Write(magic)
+	// Force state emission on the first sample of the stream.
+	tw.curTID = ^uint32(0)
+	tw.curM = -1
+	return tw
+}
+
+func (w *Writer) op(code byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(code)
+}
+
+func (w *Writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *Writer) svarint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+// BeginFrame starts a frame.
+func (w *Writer) BeginFrame() {
+	if w.inFrame {
+		w.fail(errors.New("trace: BeginFrame inside a frame"))
+		return
+	}
+	w.inFrame = true
+	w.op(opFrame)
+}
+
+// Texel records one texel reference.
+func (w *Writer) Texel(tid uint32, u, v, m int) {
+	if !w.inFrame {
+		w.fail(errors.New("trace: Texel outside a frame"))
+		return
+	}
+	if tid != w.curTID {
+		w.op(opTexture)
+		w.uvarint(uint64(tid))
+		w.curTID = tid
+	}
+	if m != w.curM {
+		w.op(opLevel)
+		w.uvarint(uint64(m))
+		w.curM = m
+	}
+	w.op(opSample)
+	w.svarint(int64(u - w.lastU))
+	w.svarint(int64(v - w.lastV))
+	w.lastU, w.lastV = u, v
+}
+
+// EndFrame closes the frame, recording the rasterized pixel count.
+func (w *Writer) EndFrame(pixels int64) {
+	if !w.inFrame {
+		w.fail(errors.New("trace: EndFrame outside a frame"))
+		return
+	}
+	w.inFrame = false
+	w.op(opPixels)
+	w.uvarint(uint64(pixels))
+}
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Close flushes the stream and returns the first error encountered.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.inFrame {
+		return errors.New("trace: Close inside a frame")
+	}
+	return w.w.Flush()
+}
+
+// Handler receives replayed trace content. BeginFrame is called before the
+// frame's texels; EndFrame after, with the frame's pixel count.
+type Handler interface {
+	BeginFrame()
+	Texel(tid uint32, u, v, m int)
+	EndFrame(pixels int64)
+}
+
+// Replay decodes a stream from r, invoking h for each event. It returns
+// the number of frames replayed.
+func Replay(r io.Reader, h Handler) (frames int, err error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, b := range magic {
+		if head[i] != b {
+			return 0, errors.New("trace: bad magic or version")
+		}
+	}
+	var (
+		tid     uint32
+		m       int
+		u, v    int
+		inFrame bool
+	)
+	for {
+		code, err := br.ReadByte()
+		if err == io.EOF {
+			if inFrame {
+				return frames, errors.New("trace: truncated inside a frame")
+			}
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		switch code {
+		case opFrame:
+			if inFrame {
+				return frames, errors.New("trace: nested frame")
+			}
+			inFrame = true
+			h.BeginFrame()
+		case opTexture:
+			x, err := binary.ReadUvarint(br)
+			if err != nil {
+				return frames, err
+			}
+			tid = uint32(x)
+		case opLevel:
+			x, err := binary.ReadUvarint(br)
+			if err != nil {
+				return frames, err
+			}
+			m = int(x)
+		case opSample:
+			du, err := binary.ReadVarint(br)
+			if err != nil {
+				return frames, err
+			}
+			dv, err := binary.ReadVarint(br)
+			if err != nil {
+				return frames, err
+			}
+			if !inFrame {
+				return frames, errors.New("trace: sample outside frame")
+			}
+			u += int(du)
+			v += int(dv)
+			h.Texel(tid, u, v, m)
+		case opPixels:
+			x, err := binary.ReadUvarint(br)
+			if err != nil {
+				return frames, err
+			}
+			if !inFrame {
+				return frames, errors.New("trace: frame end outside frame")
+			}
+			inFrame = false
+			frames++
+			h.EndFrame(int64(x))
+		default:
+			return frames, fmt.Errorf("trace: unknown opcode %#x", code)
+		}
+	}
+}

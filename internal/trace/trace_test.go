@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// recorder collects replayed events for comparison.
+type recorder struct {
+	frames  [][]Event
+	pixels  []int64
+	current []Event
+}
+
+func (r *recorder) BeginFrame() { r.current = nil }
+
+func (r *recorder) Texel(tid uint32, u, v, m int) {
+	r.current = append(r.current, Event{tid, u, v, m})
+}
+
+func (r *recorder) EndFrame(pixels int64) {
+	r.frames = append(r.frames, r.current)
+	r.pixels = append(r.pixels, pixels)
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(3, 10, 20, 0)
+	w.Texel(3, 11, 20, 0)
+	w.Texel(7, 0, 0, 2)
+	w.EndFrame(42)
+	w.BeginFrame()
+	w.Texel(7, 1, 1, 2)
+	w.EndFrame(7)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var r recorder
+	frames, err := Replay(&buf, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 2 {
+		t.Fatalf("frames = %d, want 2", frames)
+	}
+	want0 := []Event{{3, 10, 20, 0}, {3, 11, 20, 0}, {7, 0, 0, 2}}
+	if len(r.frames[0]) != len(want0) {
+		t.Fatalf("frame 0 events = %d, want %d", len(r.frames[0]), len(want0))
+	}
+	for i, e := range want0 {
+		if r.frames[0][i] != e {
+			t.Errorf("frame 0 event %d = %+v, want %+v", i, r.frames[0][i], e)
+		}
+	}
+	if r.pixels[0] != 42 || r.pixels[1] != 7 {
+		t.Errorf("pixels = %v", r.pixels)
+	}
+	if r.frames[1][0] != (Event{7, 1, 1, 2}) {
+		t.Errorf("frame 1 event = %+v", r.frames[1][0])
+	}
+}
+
+func TestRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want [][]Event
+	var wantPix []int64
+	for f := 0; f < 20; f++ {
+		w.BeginFrame()
+		var evs []Event
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			e := Event{
+				TID: uint32(rng.Intn(50)),
+				U:   rng.Intn(4096),
+				V:   rng.Intn(4096),
+				M:   rng.Intn(12),
+			}
+			evs = append(evs, e)
+			w.Texel(e.TID, e.U, e.V, e.M)
+		}
+		pix := rng.Int63n(1 << 40)
+		w.EndFrame(pix)
+		want = append(want, evs)
+		wantPix = append(wantPix, pix)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var r recorder
+	frames, err := Replay(&buf, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 20 {
+		t.Fatalf("frames = %d", frames)
+	}
+	for f := range want {
+		if len(r.frames[f]) != len(want[f]) {
+			t.Fatalf("frame %d: %d events, want %d", f, len(r.frames[f]), len(want[f]))
+		}
+		for i := range want[f] {
+			if r.frames[f][i] != want[f][i] {
+				t.Fatalf("frame %d event %d = %+v, want %+v",
+					f, i, r.frames[f][i], want[f][i])
+			}
+		}
+		if r.pixels[f] != wantPix[f] {
+			t.Errorf("frame %d pixels = %d, want %d", f, r.pixels[f], wantPix[f])
+		}
+	}
+}
+
+func TestCompressionOfCoherentStream(t *testing.T) {
+	// A coherent texture-space walk should cost only a few bytes per
+	// sample thanks to delta coding.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Texel(1, i%256, i/256, 0)
+	}
+	w.EndFrame(n)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perSample := float64(buf.Len()) / n
+	if perSample > 4 {
+		t.Errorf("coherent stream costs %.2f bytes/sample, want <= 4", perSample)
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Texel(0, 0, 0, 0) // outside frame
+	if err := w.Close(); err == nil {
+		t.Error("Texel outside frame not reported")
+	}
+
+	w = NewWriter(&buf)
+	w.BeginFrame()
+	w.BeginFrame()
+	if err := w.Close(); err == nil {
+		t.Error("nested BeginFrame not reported")
+	}
+
+	w = NewWriter(&buf)
+	w.BeginFrame()
+	if err := w.Close(); err == nil {
+		t.Error("Close inside frame not reported")
+	}
+}
+
+func TestReplayBadMagic(t *testing.T) {
+	var r recorder
+	if _, err := Replay(strings.NewReader("NOTATRACE"), &r); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Replay(strings.NewReader("TX"), &r); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestReplayTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(1, 5, 5, 0)
+	w.EndFrame(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the frame body.
+	cut := full[:len(full)-3]
+	var r recorder
+	if _, err := Replay(bytes.NewReader(cut), &r); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestReplayUnknownOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'T', 'X', 'T', 'R', 1, 0xEE})
+	var r recorder
+	if _, err := Replay(&buf, &r); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestNegativeDeltasAcrossFrames(t *testing.T) {
+	// Deltas persist across frame boundaries; walking backwards must
+	// reproduce exactly.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(0, 1000, 1000, 3)
+	w.EndFrame(1)
+	w.BeginFrame()
+	w.Texel(0, 1, 2, 3)
+	w.EndFrame(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var r recorder
+	if _, err := Replay(&buf, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.frames[1][0] != (Event{0, 1, 2, 3}) {
+		t.Errorf("event = %+v", r.frames[1][0])
+	}
+}
+
+// errWriter fails after n bytes, exercising error propagation through the
+// buffered encoder.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errFull
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errFull
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errFull = &writerError{"disk full"}
+
+type writerError struct{ msg string }
+
+func (e *writerError) Error() string { return e.msg }
+
+func TestWriterPropagatesIOError(t *testing.T) {
+	// Small limit: the header may fit but frame data will not. The
+	// encoder buffers, so the error surfaces at Close.
+	w := NewWriter(&errWriter{n: 8})
+	for f := 0; f < 100; f++ {
+		w.BeginFrame()
+		for i := 0; i < 100; i++ {
+			w.Texel(uint32(i%7), i*3, i*5, i%9)
+		}
+		w.EndFrame(100)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("write error not propagated")
+	}
+	// EndFrame outside a frame is also an error even with I/O broken.
+	w2 := NewWriter(&errWriter{n: 0})
+	w2.EndFrame(1)
+	if err := w2.Close(); err == nil {
+		t.Error("EndFrame misuse not reported")
+	}
+}

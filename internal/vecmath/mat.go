@@ -1,0 +1,193 @@
+package vecmath
+
+import "math"
+
+// Mat4 is a 4x4 matrix stored row-major: m[row*4+col].
+type Mat4 [16]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m * o.
+func (m Mat4) Mul(o Mat4) Mat4 {
+	var r Mat4
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += m[row*4+k] * o[k*4+col]
+			}
+			r[row*4+col] = s
+		}
+	}
+	return r
+}
+
+// MulVec4 returns m * v.
+func (m Mat4) MulVec4(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// MulPoint transforms a 3D point (w = 1) and returns the xyz of the result.
+// The caller must ensure m's bottom row is (0,0,0,1) or accept the dropped w.
+func (m Mat4) MulPoint(p Vec3) Vec3 {
+	return m.MulVec4(V4(p, 1)).XYZ()
+}
+
+// MulDir transforms a direction (w = 0).
+func (m Mat4) MulDir(d Vec3) Vec3 {
+	return m.MulVec4(V4(d, 0)).XYZ()
+}
+
+// Translate returns a translation matrix.
+func Translate(t Vec3) Mat4 {
+	m := Identity()
+	m[3], m[7], m[11] = t.X, t.Y, t.Z
+	return m
+}
+
+// ScaleUniform returns a uniform scaling matrix.
+func ScaleUniform(s float64) Mat4 { return ScaleXYZ(Vec3{s, s, s}) }
+
+// ScaleXYZ returns a per-axis scaling matrix.
+func ScaleXYZ(s Vec3) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = s.X, s.Y, s.Z
+	return m
+}
+
+// RotateY returns a rotation about the +Y axis by the given angle in radians.
+func RotateY(rad float64) Mat4 {
+	c, s := math.Cos(rad), math.Sin(rad)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateX returns a rotation about the +X axis by the given angle in radians.
+func RotateX(rad float64) Mat4 {
+	c, s := math.Cos(rad), math.Sin(rad)
+	return Mat4{
+		1, 0, 0, 0,
+		0, c, -s, 0,
+		0, s, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateZ returns a rotation about the +Z axis by the given angle in radians.
+func RotateZ(rad float64) Mat4 {
+	c, s := math.Cos(rad), math.Sin(rad)
+	return Mat4{
+		c, -s, 0, 0,
+		s, c, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// LookAt builds a right-handed view matrix with the camera at eye, looking
+// toward target, with the given approximate up vector. If the view
+// direction is (nearly) parallel to up — looking straight down or up — a
+// fallback up axis is substituted so the basis stays orthonormal.
+func LookAt(eye, target, up Vec3) Mat4 {
+	f := target.Sub(eye).Normalize() // forward
+	s := f.Cross(up)                 // right
+	if s.Len() < 1e-9 {
+		// Pick the world axis least aligned with f.
+		fallback := Vec3{X: 1}
+		if math.Abs(f.X) > math.Abs(f.Z) {
+			fallback = Vec3{Z: 1}
+		}
+		s = f.Cross(fallback)
+	}
+	s = s.Normalize()
+	u := s.Cross(f) // true up
+	return Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective builds an OpenGL-style perspective projection. fovY is the
+// vertical field of view in radians; aspect is width/height; near and far
+// are positive distances to the clip planes.
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	f := 1 / math.Tan(fovY/2)
+	return Mat4{
+		f / aspect, 0, 0, 0,
+		0, f, 0, 0,
+		0, 0, (far + near) / (near - far), 2 * far * near / (near - far),
+		0, 0, -1, 0,
+	}
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var r Mat4
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			r[col*4+row] = m[row*4+col]
+		}
+	}
+	return r
+}
+
+// Plane is a plane in the form ax + by + cz + d >= 0 for points inside.
+type Plane struct {
+	N Vec3    // normal (a, b, c), not necessarily unit length
+	D float64 // d
+}
+
+// Dist returns the signed distance-like value a*x + b*y + c*z + d. It is a
+// true distance only when N is unit length; for inside/outside tests the
+// sign alone suffices.
+func (p Plane) Dist(v Vec3) float64 { return p.N.Dot(v) + p.D }
+
+// Normalized returns the plane scaled so that N is unit length.
+func (p Plane) Normalized() Plane {
+	l := p.N.Len()
+	if l == 0 {
+		return p
+	}
+	inv := 1 / l
+	return Plane{p.N.Scale(inv), p.D * inv}
+}
+
+// FrustumPlanes extracts the six view-frustum planes from a combined
+// projection*view matrix (Gribb–Hartmann). Points inside the frustum have
+// Dist >= 0 for all six. Order: left, right, bottom, top, near, far.
+func FrustumPlanes(pv Mat4) [6]Plane {
+	row := func(i int) Vec4 {
+		return Vec4{pv[i*4+0], pv[i*4+1], pv[i*4+2], pv[i*4+3]}
+	}
+	r0, r1, r2, r3 := row(0), row(1), row(2), row(3)
+	mk := func(v Vec4) Plane {
+		return Plane{Vec3{v.X, v.Y, v.Z}, v.W}.Normalized()
+	}
+	return [6]Plane{
+		mk(r3.Add(r0)), // left:   w + x >= 0
+		mk(r3.Sub(r0)), // right:  w - x >= 0
+		mk(r3.Add(r1)), // bottom: w + y >= 0
+		mk(r3.Sub(r1)), // top:    w - y >= 0
+		mk(r3.Add(r2)), // near:   w + z >= 0
+		mk(r3.Sub(r2)), // far:    w - z >= 0
+	}
+}

@@ -1,0 +1,114 @@
+// Package vecmath provides the small fixed-size linear algebra kernel used
+// by the geometry pipeline: 2-, 3- and 4-component vectors, 4x4 matrices,
+// and the view/projection constructions needed for perspective rendering.
+//
+// Conventions: right-handed world space, column vectors, matrices stored
+// row-major and applied as M * v. Clip space follows OpenGL: visible points
+// satisfy -w <= x,y,z <= w.
+package vecmath
+
+import "math"
+
+// Vec2 is a 2-component vector, used for texture coordinates.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v * s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Lerp linearly interpolates from v to o by t in [0,1].
+func (v Vec2) Lerp(o Vec2, t float64) Vec2 {
+	return Vec2{v.X + (o.X-v.X)*t, v.Y + (o.Y-v.Y)*t}
+}
+
+// Vec3 is a 3-component vector for positions, directions, and colours.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v . o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product v x o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		v.Y*o.Z - v.Z*o.Y,
+		v.Z*o.X - v.X*o.Z,
+		v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp linearly interpolates from v to o by t in [0,1].
+func (v Vec3) Lerp(o Vec3, t float64) Vec3 {
+	return Vec3{v.X + (o.X-v.X)*t, v.Y + (o.Y-v.Y)*t, v.Z + (o.Z-v.Z)*t}
+}
+
+// Vec4 is a homogeneous 4-component vector.
+type Vec4 struct {
+	X, Y, Z, W float64
+}
+
+// V4 extends a Vec3 with the given w component.
+func V4(v Vec3, w float64) Vec4 { return Vec4{v.X, v.Y, v.Z, w} }
+
+// XYZ returns the first three components as a Vec3.
+func (v Vec4) XYZ() Vec3 { return Vec3{v.X, v.Y, v.Z} }
+
+// Add returns v + o.
+func (v Vec4) Add(o Vec4) Vec4 {
+	return Vec4{v.X + o.X, v.Y + o.Y, v.Z + o.Z, v.W + o.W}
+}
+
+// Sub returns v - o.
+func (v Vec4) Sub(o Vec4) Vec4 {
+	return Vec4{v.X - o.X, v.Y - o.Y, v.Z - o.Z, v.W - o.W}
+}
+
+// Scale returns v * s.
+func (v Vec4) Scale(s float64) Vec4 {
+	return Vec4{v.X * s, v.Y * s, v.Z * s, v.W * s}
+}
+
+// Dot returns the 4-component dot product.
+func (v Vec4) Dot(o Vec4) float64 {
+	return v.X*o.X + v.Y*o.Y + v.Z*o.Z + v.W*o.W
+}
+
+// Lerp linearly interpolates from v to o by t in [0,1].
+func (v Vec4) Lerp(o Vec4, t float64) Vec4 {
+	return Vec4{
+		v.X + (o.X-v.X)*t,
+		v.Y + (o.Y-v.Y)*t,
+		v.Z + (o.Z-v.Z)*t,
+		v.W + (o.W-v.W)*t,
+	}
+}

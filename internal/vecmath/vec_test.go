@@ -1,0 +1,243 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func vec3Eq(a, b Vec3) bool {
+	return almostEq(a.X, b.X) && almostEq(a.Y, b.Y) && almostEq(a.Z, b.Z)
+}
+
+func TestVec2Arithmetic(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -4}
+	if got := a.Add(b); got != (Vec2{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Vec2{2, -1}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestVec3DotCross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	z := Vec3{0, 0, 1}
+	if got := x.Cross(y); !vec3Eq(got, z) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(z); !vec3Eq(got, x) {
+		t.Errorf("y cross z = %v, want x", got)
+	}
+	if got := x.Dot(y); got != 0 {
+		t.Errorf("x dot y = %v, want 0", got)
+	}
+	if got := (Vec3{2, 3, 4}).Dot(Vec3{5, 6, 7}); got != 56 {
+		t.Errorf("dot = %v, want 56", got)
+	}
+}
+
+func TestVec3Normalize(t *testing.T) {
+	v := Vec3{3, 4, 0}.Normalize()
+	if !almostEq(v.Len(), 1) {
+		t.Errorf("len = %v, want 1", v.Len())
+	}
+	zero := Vec3{}.Normalize()
+	if zero != (Vec3{}) {
+		t.Errorf("normalize zero = %v, want zero", zero)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clampf(ax), clampf(ay), clampf(az)}
+		b := Vec3{clampf(bx), clampf(by), clampf(bz)}
+		c := a.Cross(b)
+		// The cross product is orthogonal to both operands.
+		return math.Abs(c.Dot(a)) < 1e-3 && math.Abs(c.Dot(b)) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampf maps arbitrary float64 values (including NaN/Inf from quick) into a
+// well-behaved range for geometric property tests.
+func clampf(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(v, 100)
+}
+
+func TestMat4Identity(t *testing.T) {
+	v := Vec4{1, 2, 3, 4}
+	if got := Identity().MulVec4(v); got != v {
+		t.Errorf("I*v = %v, want %v", got, v)
+	}
+}
+
+func TestMat4MulAssociativityWithVector(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RotateY(float64(seed%7) * 0.3).Mul(Translate(Vec3{1, 2, 3}))
+		b := RotateX(float64(seed%5) * 0.7).Mul(ScaleUniform(2))
+		v := Vec4{float64(seed % 11), 1, -2, 1}
+		left := a.Mul(b).MulVec4(v)
+		right := a.MulVec4(b.MulVec4(v))
+		return vec3Eq(left.XYZ(), right.XYZ()) && almostEq(left.W, right.W)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m := Translate(Vec3{1, 2, 3})
+	if got := m.MulPoint(Vec3{10, 20, 30}); !vec3Eq(got, Vec3{11, 22, 33}) {
+		t.Errorf("translate point = %v", got)
+	}
+	// Directions are unaffected by translation.
+	if got := m.MulDir(Vec3{1, 0, 0}); !vec3Eq(got, Vec3{1, 0, 0}) {
+		t.Errorf("translate dir = %v", got)
+	}
+}
+
+func TestRotateY(t *testing.T) {
+	m := RotateY(math.Pi / 2)
+	// +Z rotates to +X under a right-handed rotation about Y.
+	if got := m.MulDir(Vec3{0, 0, 1}); !vec3Eq(got, Vec3{1, 0, 0}) {
+		t.Errorf("rotateY(+z) = %v, want +x", got)
+	}
+}
+
+func TestLookAtBasics(t *testing.T) {
+	eye := Vec3{0, 0, 5}
+	view := LookAt(eye, Vec3{0, 0, 0}, Vec3{0, 1, 0})
+	// The eye maps to the origin.
+	if got := view.MulPoint(eye); !vec3Eq(got, Vec3{}) {
+		t.Errorf("view(eye) = %v, want origin", got)
+	}
+	// A point in front of the camera has negative z in view space.
+	if got := view.MulPoint(Vec3{0, 0, 0}); got.Z >= 0 {
+		t.Errorf("view(target).Z = %v, want < 0", got.Z)
+	}
+}
+
+func TestPerspectiveClipSpace(t *testing.T) {
+	proj := Perspective(math.Pi/2, 1, 1, 100)
+	// A point on the near plane straight ahead maps to z/w = -1.
+	near := proj.MulVec4(Vec4{0, 0, -1, 1})
+	if !almostEq(near.Z/near.W, -1) {
+		t.Errorf("near z/w = %v, want -1", near.Z/near.W)
+	}
+	far := proj.MulVec4(Vec4{0, 0, -100, 1})
+	if !almostEq(far.Z/far.W, 1) {
+		t.Errorf("far z/w = %v, want 1", far.Z/far.W)
+	}
+}
+
+func TestFrustumPlanesContainment(t *testing.T) {
+	proj := Perspective(math.Pi/2, 1, 1, 100)
+	view := LookAt(Vec3{0, 0, 0}, Vec3{0, 0, -1}, Vec3{0, 1, 0})
+	planes := FrustumPlanes(proj.Mul(view))
+
+	inside := Vec3{0, 0, -10}
+	for i, p := range planes {
+		if p.Dist(inside) < 0 {
+			t.Errorf("plane %d rejects interior point: %v", i, p.Dist(inside))
+		}
+	}
+	outside := []Vec3{
+		{0, 0, 10},    // behind the camera
+		{0, 0, -1000}, // beyond far
+		{-1000, 0, -10},
+		{1000, 0, -10},
+		{0, 1000, -10},
+		{0, -1000, -10},
+	}
+	for _, pt := range outside {
+		rejected := false
+		for _, p := range planes {
+			if p.Dist(pt) < 0 {
+				rejected = true
+				break
+			}
+		}
+		if !rejected {
+			t.Errorf("point %v not rejected by any plane", pt)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := Mat4{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	tt := m.Transpose().Transpose()
+	if tt != m {
+		t.Errorf("double transpose != original")
+	}
+	if m.Transpose()[1] != 5 {
+		t.Errorf("transpose[0][1] = %v, want 5", m.Transpose()[1])
+	}
+}
+
+func TestVec4Lerp(t *testing.T) {
+	a := Vec4{0, 0, 0, 0}
+	b := Vec4{2, 4, 6, 8}
+	if got := a.Lerp(b, 0.25); got != (Vec4{0.5, 1, 1.5, 2}) {
+		t.Errorf("lerp = %v", got)
+	}
+}
+
+func TestPlaneNormalized(t *testing.T) {
+	p := Plane{Vec3{0, 3, 0}, 6}.Normalized()
+	if !almostEq(p.N.Len(), 1) {
+		t.Errorf("normal length = %v", p.N.Len())
+	}
+	if !almostEq(p.Dist(Vec3{0, -2, 0}), 0) {
+		t.Errorf("point on plane has dist %v", p.Dist(Vec3{0, -2, 0}))
+	}
+}
+
+func TestLookAtDegenerateUp(t *testing.T) {
+	// Looking straight down with up = +Y would make forward parallel to
+	// up; the matrix must still be finite and orthonormal.
+	view := LookAt(Vec3{Y: 10}, Vec3{}, Vec3{Y: 1})
+	for i, v := range view {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("view[%d] = %v", i, v)
+		}
+	}
+	// The eye must map to the origin and rows stay orthonormal.
+	if got := view.MulPoint(Vec3{Y: 10}); got.Len() > 1e-9 {
+		t.Errorf("view(eye) = %v", got)
+	}
+	r0 := Vec3{view[0], view[1], view[2]}
+	r1 := Vec3{view[4], view[5], view[6]}
+	if !almostEq(r0.Len(), 1) || !almostEq(r1.Len(), 1) || !almostEq(r0.Dot(r1), 0) {
+		t.Errorf("basis not orthonormal: %v %v", r0, r1)
+	}
+	// Looking straight up likewise.
+	view = LookAt(Vec3{}, Vec3{Y: 5}, Vec3{Y: 1})
+	for i, v := range view {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("up view[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"texcache/internal/scene"
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
+)
+
+// CityFrames is the paper-scale frame count of the City fly-through.
+const CityFrames = 525
+
+// City builds the City workload: a regular street grid of office towers
+// seen from a flying camera. Its defining property is the opposite of the
+// Village's: each building carries its own facade texture (no sharing
+// between objects), but the facade repeats (wraps) many times across each
+// building — high utilisation through repetition, low inter-object reuse.
+func City() *Workload {
+	s := scene.NewScene()
+	reg := s.Textures
+
+	asphalt := reg.Register(texture.MustNew("asphalt", 1024, 1024, texture.RGB888,
+		texture.Noise{Base: texture.RGBA{R: 70, G: 70, B: 74, A: 255},
+			Vary: 18, Scale: 256, Seed: 21}))
+	sky := reg.Register(texture.MustNew("sky", 1024, 512, texture.RGB565,
+		texture.SkyGradient{Zenith: texture.RGBA{R: 90, G: 120, B: 190, A: 255},
+			Horizon: texture.RGBA{R: 225, G: 225, B: 235, A: 255}}))
+	rooftop := reg.Register(texture.MustNew("rooftop", 256, 256, texture.RGB565,
+		texture.Noise{Base: texture.RGBA{R: 110, G: 106, B: 100, A: 255},
+			Vary: 20, Scale: 64, Seed: 33}))
+
+	r := newRNG(0x43495459464C5931) // "CITYFLY1"
+
+	// Street grid ground plane.
+	ground := &scene.Mesh{}
+	ground.GroundGrid(0, 320, 320, 16, 16, asphalt, 8, 8)
+	s.Add(scene.NewObject("streets", ground, vecmath.Identity()))
+
+	// Buildings: a grid with per-building facade textures. The facade
+	// wraps across the walls (windows repeat), so utilisation is high
+	// even though no two buildings share texels.
+	const gridN = 13
+	const spacing = 48.0
+	wallColors := []texture.RGBA{
+		{R: 150, G: 150, B: 158, A: 255},
+		{R: 172, G: 160, B: 140, A: 255},
+		{R: 120, G: 130, B: 140, A: 255},
+		{R: 96, G: 104, B: 118, A: 255},
+		{R: 180, G: 174, B: 162, A: 255},
+	}
+	glassColors := []texture.RGBA{
+		{R: 60, G: 90, B: 140, A: 255},
+		{R: 50, G: 70, B: 90, A: 255},
+		{R: 90, G: 120, B: 150, A: 255},
+	}
+	id := 0
+	for gz := 0; gz < gridN; gz++ {
+		for gx := 0; gx < gridN; gx++ {
+			// Leave some lots empty (plazas) for variety and to keep
+			// depth complexity near the paper's 1.9.
+			if r.intn(6) == 0 {
+				continue
+			}
+			cx := (float64(gx) - float64(gridN-1)/2) * spacing
+			cz := (float64(gz) - float64(gridN-1)/2) * spacing
+			w := r.rangef(16, 26)
+			d := r.rangef(16, 26)
+			h := r.rangef(18, 70)
+			// Taller towers near the centre.
+			distC := (abs(cx) + abs(cz)) / (spacing * float64(gridN))
+			h *= 1.6 - distC
+
+			facade := reg.Register(texture.MustNew(
+				fmt.Sprintf("facade-%d", id), 128, 128, texture.RGB888,
+				texture.Windows{
+					Wall:  wallColors[r.intn(len(wallColors))],
+					Glass: glassColors[r.intn(len(glassColors))],
+					Cols:  3 + r.intn(3),
+					Rows:  4 + r.intn(4),
+				}))
+			m := &scene.Mesh{}
+			m.Box(vecmath.Vec3{X: -w / 2, Y: 0, Z: -d / 2},
+				vecmath.Vec3{X: w / 2, Y: h, Z: d / 2},
+				scene.BoxTextures{
+					Sides: facade, Top: rooftop,
+					// One facade repeat per ~8 units: tall towers
+					// wrap the texture many times vertically.
+					SideRepeatU: w / 8, SideRepeatV: h / 8,
+					TopRepeatU: 1, TopRepeatV: 1,
+				})
+			s.Add(scene.NewObject(fmt.Sprintf("bldg-%d", id), m,
+				vecmath.Translate(vecmath.Vec3{X: cx, Z: cz})))
+			id++
+		}
+	}
+
+	skym := &scene.Mesh{}
+	skym.SkyDome(1800, 700, sky)
+	s.Add(scene.NewObject("sky", skym, vecmath.Identity()))
+
+	// Fly-through: swoop in over a corner, cross the city above the
+	// rooftops looking down the avenues, bank around the centre, and
+	// exit over the opposite corner.
+	e := func(x, y, z float64) vecmath.Vec3 { return vecmath.Vec3{X: x, Y: y, Z: z} }
+	path := scene.Path{Points: []scene.Waypoint{
+		{Eye: e(-420, 160, -420), Target: e(-200, 60, -200)},
+		{Eye: e(-300, 120, -300), Target: e(-80, 40, -80)},
+		{Eye: e(-180, 95, -180), Target: e(0, 30, 0)},
+		{Eye: e(-60, 85, -100), Target: e(60, 25, 40)},
+		{Eye: e(40, 90, -40), Target: e(90, 20, 120)},
+		{Eye: e(120, 100, 60), Target: e(60, 15, 200)},
+		{Eye: e(100, 110, 180), Target: e(-60, 20, 240)},
+		{Eye: e(0, 120, 260), Target: e(-180, 30, 180)},
+		{Eye: e(-120, 130, 300), Target: e(-320, 40, 120)},
+		{Eye: e(-260, 150, 340), Target: e(-420, 60, 60)},
+	}}
+
+	return &Workload{
+		Name:   "city",
+		Scene:  s,
+		Path:   path,
+		Frames: CityFrames,
+		Up:     vecmath.Vec3{Y: 1},
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+
+	"texcache/internal/scene"
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
+)
+
+// MallFrames is the frame count of the Mall walk-through.
+const MallFrames = 480
+
+// lightBlob is a procedural lightmap: a bright elliptical pool of light
+// with soft falloff, unique per surface via the seed.
+type lightBlob struct {
+	cx, cy, r float64
+	seed      uint32
+}
+
+func (l lightBlob) At(u, v float64) texture.RGBA {
+	du := (u - l.cx) / l.r
+	dv := (v - l.cy) / l.r
+	d2 := du*du + dv*dv
+	// Brightness falls off quadratically; floor keeps shadows readable.
+	b := 1.0 - d2
+	if b < 0.25 {
+		b = 0.25
+	}
+	g := uint8(40 + 215*b)
+	return texture.RGBA{R: g, G: g, B: uint8(float64(g) * 0.92), A: 255}
+}
+
+// Mall builds the "workload of the future" the paper's §6 asks for: an
+// indoor scene using multiple textures per object via multipass rendering
+// — every surface is drawn once with a wrapped diffuse texture from a
+// small shared pool and once with its own unique lightmap. This doubles
+// texel traffic per pixel, adds a large single-use texture population
+// (like the City) on top of heavy sharing (like the Village), and raises
+// depth complexity — stressing exactly the working sets L2 caching
+// targets.
+func Mall() *Workload {
+	s := scene.NewScene()
+	reg := s.Textures
+
+	marble := reg.Register(texture.MustNew("marble", 512, 512, texture.RGB888,
+		texture.Noise{Base: texture.RGBA{R: 215, G: 212, B: 205, A: 255},
+			Vary: 26, Scale: 48, Seed: 5}))
+	wall := reg.Register(texture.MustNew("wall", 512, 512, texture.RGB888,
+		texture.Noise{Base: texture.RGBA{R: 196, G: 188, B: 176, A: 255},
+			Vary: 16, Scale: 96, Seed: 8}))
+	ceiling := reg.Register(texture.MustNew("ceiling", 256, 256, texture.RGB565,
+		texture.Checker{A: texture.RGBA{R: 235, G: 235, B: 230, A: 255},
+			B: texture.RGBA{R: 215, G: 215, B: 212, A: 255}, N: 16}))
+	column := reg.Register(texture.MustNew("column", 256, 256, texture.RGB888,
+		texture.Stripes{A: texture.RGBA{R: 180, G: 175, B: 168, A: 255},
+			B: texture.RGBA{R: 160, G: 155, B: 150, A: 255}, N: 12}))
+
+	r := newRNG(0x4D414C4C57414C4B) // "MALLWALK"
+
+	lightmapID := 0
+	newLightmap := func() *texture.Texture {
+		lightmapID++
+		return reg.Register(texture.MustNew(
+			fmt.Sprintf("lightmap-%d", lightmapID), 256, 256, texture.L8,
+			lightBlob{
+				cx:   r.rangef(0.3, 0.7),
+				cy:   r.rangef(0.3, 0.7),
+				r:    r.rangef(0.5, 0.9),
+				seed: uint32(lightmapID),
+			}))
+	}
+
+	// litQuad adds a surface with two passes: wrapped diffuse texture and
+	// a unique stretched lightmap (the multitexture pattern of §4).
+	litQuad := func(m *scene.Mesh, a, b, c, d vecmath.Vec3,
+		diffuse *texture.Texture, ru, rv float64) {
+		m.Quad(a, b, c, d, diffuse, ru, rv)
+		m.Quad(a, b, c, d, newLightmap(), 1, 1)
+	}
+
+	const (
+		hallHalfW = 9.0 // hall half-width
+		hallLen   = 240.0
+		hallH     = 8.0
+		patch     = 12.0 // lightmap patch length along the hall
+	)
+
+	// Floor and ceiling in lightmapped patches along the hall.
+	floor := &scene.Mesh{}
+	ceil := &scene.Mesh{}
+	for z := -hallLen / 2; z < hallLen/2; z += patch {
+		litQuad(floor,
+			vecmath.Vec3{X: -hallHalfW, Y: 0, Z: z + patch},
+			vecmath.Vec3{X: hallHalfW, Y: 0, Z: z + patch},
+			vecmath.Vec3{X: hallHalfW, Y: 0, Z: z},
+			vecmath.Vec3{X: -hallHalfW, Y: 0, Z: z},
+			marble, 4, 3)
+		litQuad(ceil,
+			vecmath.Vec3{X: -hallHalfW, Y: hallH, Z: z},
+			vecmath.Vec3{X: hallHalfW, Y: hallH, Z: z},
+			vecmath.Vec3{X: hallHalfW, Y: hallH, Z: z + patch},
+			vecmath.Vec3{X: -hallHalfW, Y: hallH, Z: z + patch},
+			ceiling, 3, 2)
+	}
+	s.Add(scene.NewObject("floor", floor, vecmath.Identity()))
+	s.Add(scene.NewObject("ceiling", ceil, vecmath.Identity()))
+
+	// Storefront walls: lightmapped patches with unique sign textures.
+	wallColors := []texture.RGBA{
+		{R: 200, G: 60, B: 60, A: 255},
+		{R: 60, G: 120, B: 200, A: 255},
+		{R: 60, G: 170, B: 90, A: 255},
+		{R: 210, G: 160, B: 40, A: 255},
+	}
+	store := 0
+	for _, side := range []float64{-1, 1} {
+		walls := &scene.Mesh{}
+		x := side * hallHalfW
+		for z := -hallLen / 2; z < hallLen/2; z += patch {
+			a := vecmath.Vec3{X: x, Y: 0, Z: z}
+			b := vecmath.Vec3{X: x, Y: 0, Z: z + patch}
+			c := vecmath.Vec3{X: x, Y: hallH, Z: z + patch}
+			d := vecmath.Vec3{X: x, Y: hallH, Z: z}
+			litQuad(walls, a, b, c, d, wall, 3, 2)
+			// Every other patch is a storefront with a unique sign.
+			if int(z/patch)%2 == 0 {
+				store++
+				sign := reg.Register(texture.MustNew(
+					fmt.Sprintf("sign-%d", store), 256, 64, texture.RGB888,
+					texture.Stripes{
+						A: wallColors[store%len(wallColors)],
+						B: texture.RGBA{R: 240, G: 240, B: 240, A: 255},
+						N: 4,
+					}))
+				inset := side * 0.05
+				walls.Quad(
+					vecmath.Vec3{X: x - inset, Y: 5.2, Z: z + 1},
+					vecmath.Vec3{X: x - inset, Y: 5.2, Z: z + patch - 1},
+					vecmath.Vec3{X: x - inset, Y: 6.8, Z: z + patch - 1},
+					vecmath.Vec3{X: x - inset, Y: 6.8, Z: z + 1},
+					sign, 1, 1)
+			}
+		}
+		s.Add(scene.NewObject(fmt.Sprintf("wall-%d", int(side)), walls,
+			vecmath.Identity()))
+	}
+
+	// A colonnade down the middle of the hall.
+	for i := 0; i < 18; i++ {
+		m := &scene.Mesh{}
+		m.Box(
+			vecmath.Vec3{X: -0.7, Y: 0, Z: -0.7},
+			vecmath.Vec3{X: 0.7, Y: hallH, Z: 0.7},
+			scene.BoxTextures{Sides: column, SideRepeatU: 1, SideRepeatV: 3})
+		z := -hallLen/2 + 10 + float64(i)*12.5
+		x := 3.5 * sign(float64(i%2)-0.5)
+		s.Add(scene.NewObject(fmt.Sprintf("column-%d", i), m,
+			vecmath.Translate(vecmath.Vec3{X: x, Z: z})))
+	}
+
+	// Walk from one end of the hall to the other, weaving around the
+	// columns, then turn and walk a stretch back.
+	eye := func(x, z float64) vecmath.Vec3 { return vecmath.Vec3{X: x, Y: 1.7, Z: z} }
+	path := scene.Path{Points: []scene.Waypoint{
+		{Eye: eye(0, 112), Target: eye(-2, 80)},
+		{Eye: eye(-3, 80), Target: eye(2, 40)},
+		{Eye: eye(3, 45), Target: eye(-2, 0)},
+		{Eye: eye(-3, 5), Target: eye(2, -40)},
+		{Eye: eye(3, -40), Target: eye(-2, -80)},
+		{Eye: eye(-2, -80), Target: eye(0, -112)},
+		{Eye: eye(0, -105), Target: eye(6, -80)}, // turn around
+		{Eye: eye(2, -85), Target: eye(-4, -40)},
+		{Eye: eye(-3, -50), Target: eye(3, -10)},
+	}}
+
+	return &Workload{
+		Name:   "mall",
+		Scene:  s,
+		Path:   path,
+		Frames: MallFrames,
+		Up:     vecmath.Vec3{Y: 1},
+	}
+}

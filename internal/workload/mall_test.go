@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+func TestMallDeterministic(t *testing.T) {
+	a, b := Mall(), Mall()
+	if a.Scene.TriangleCount() != b.Scene.TriangleCount() ||
+		a.Scene.Textures.Len() != b.Scene.Textures.Len() ||
+		a.Scene.Textures.HostBytes() != b.Scene.Textures.HostBytes() {
+		t.Error("mall builds differ")
+	}
+}
+
+func TestMallShape(t *testing.T) {
+	w := Mall()
+	if w.Name != "mall" || w.Frames != MallFrames {
+		t.Errorf("identity = %q/%d", w.Name, w.Frames)
+	}
+	// The defining property: a large population of single-use lightmaps
+	// plus a small shared diffuse pool.
+	lightmaps, signs, shared := 0, 0, 0
+	for _, tex := range w.Scene.Textures.All() {
+		switch {
+		case strings.HasPrefix(tex.Name, "lightmap-"):
+			lightmaps++
+			if tex.Format != texture.L8 {
+				t.Errorf("lightmap %s format = %v, want L8", tex.Name, tex.Format)
+			}
+		case strings.HasPrefix(tex.Name, "sign-"):
+			signs++
+		default:
+			shared++
+		}
+	}
+	if lightmaps < 40 {
+		t.Errorf("lightmaps = %d, want >= 40", lightmaps)
+	}
+	if signs < 10 {
+		t.Errorf("signs = %d, want >= 10", signs)
+	}
+	if shared > 10 {
+		t.Errorf("shared pool = %d textures, want small (<= 10)", shared)
+	}
+}
+
+func TestMallMultitexturing(t *testing.T) {
+	// Every lightmapped surface must appear twice in its mesh: once with
+	// a diffuse texture, once with a lightmap — multipass multitexture.
+	w := Mall()
+	var diffuse, lightmap int
+	for _, o := range w.Scene.Objects {
+		if o.Name != "floor" {
+			continue
+		}
+		for _, tri := range o.Mesh.Tris {
+			if strings.HasPrefix(tri.Tex.Name, "lightmap-") {
+				lightmap++
+			} else {
+				diffuse++
+			}
+		}
+	}
+	if diffuse == 0 || diffuse != lightmap {
+		t.Errorf("floor passes: %d diffuse vs %d lightmap, want equal and > 0",
+			diffuse, lightmap)
+	}
+}
+
+func TestMallLightmapsUnique(t *testing.T) {
+	// Each lightmap must be used by exactly one surface (two triangles).
+	w := Mall()
+	uses := map[texture.ID]int{}
+	for _, o := range w.Scene.Objects {
+		for _, tri := range o.Mesh.Tris {
+			if strings.HasPrefix(tri.Tex.Name, "lightmap-") {
+				uses[tri.Tex.ID]++
+			}
+		}
+	}
+	for id, n := range uses {
+		if n != 2 {
+			t.Errorf("lightmap %d used by %d triangles, want 2", id, n)
+		}
+	}
+}
+
+func TestMallCameraStaysInHall(t *testing.T) {
+	w := Mall()
+	for f := 0; f <= 60; f++ {
+		cam := w.Camera(4.0/3, f, 61)
+		if cam.Eye.Y < 1 || cam.Eye.Y > 7 {
+			t.Errorf("frame %d: eye height %v outside hall", f, cam.Eye.Y)
+		}
+		if cam.Eye.X < -9 || cam.Eye.X > 9 {
+			t.Errorf("frame %d: eye x %v outside hall", f, cam.Eye.X)
+		}
+	}
+}
+
+func TestMallLightBlobPattern(t *testing.T) {
+	p := lightBlob{cx: 0.5, cy: 0.5, r: 0.6}
+	centre := p.At(0.5, 0.5)
+	corner := p.At(0.0, 0.0)
+	if centre.R <= corner.R {
+		t.Errorf("light centre (%d) not brighter than corner (%d)", centre.R, corner.R)
+	}
+	if corner.R < 40 {
+		t.Errorf("shadow floor missing: %d", corner.R)
+	}
+}

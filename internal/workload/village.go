@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+
+	"texcache/internal/scene"
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
+)
+
+// VillageFrames is the paper-scale frame count of the Village walk-through.
+const VillageFrames = 411
+
+// Village builds the Village workload: a small town of textured houses
+// along a main street, with a church, trees, grass and a sky dome. The
+// defining property is texture reuse: every house draws from a small
+// shared pool of wall and roof textures, the ground and pavement wrap a
+// single texture each, and the sky is shared — so the per-frame texture
+// working set is far smaller than the geometry would suggest.
+func Village() *Workload {
+	s := scene.NewScene()
+	reg := s.Textures
+
+	// Shared texture pool (original depths vary, as host memory stores
+	// textures at their native formats).
+	walls := []*texture.Texture{
+		reg.Register(texture.MustNew("brick-red", 512, 512, texture.RGB888,
+			texture.Brick{Brick: texture.RGBA{R: 160, G: 70, B: 50, A: 255},
+				Mortar: texture.RGBA{R: 205, G: 198, B: 188, A: 255}, Rows: 16})),
+		reg.Register(texture.MustNew("brick-tan", 512, 512, texture.RGB888,
+			texture.Brick{Brick: texture.RGBA{R: 190, G: 160, B: 110, A: 255},
+				Mortar: texture.RGBA{R: 220, G: 214, B: 200, A: 255}, Rows: 16})),
+		reg.Register(texture.MustNew("plaster", 512, 512, texture.RGB888,
+			texture.Noise{Base: texture.RGBA{R: 225, G: 220, B: 205, A: 255},
+				Vary: 24, Scale: 64, Seed: 11})),
+		reg.Register(texture.MustNew("timber", 512, 512, texture.RGB888,
+			texture.Stripes{A: texture.RGBA{R: 150, G: 110, B: 70, A: 255},
+				B: texture.RGBA{R: 120, G: 85, B: 50, A: 255}, N: 24})),
+	}
+	roofs := []*texture.Texture{
+		reg.Register(texture.MustNew("roof-slate", 512, 512, texture.RGB565,
+			texture.Stripes{A: texture.RGBA{R: 90, G: 95, B: 105, A: 255},
+				B: texture.RGBA{R: 70, G: 74, B: 84, A: 255}, N: 32})),
+		reg.Register(texture.MustNew("roof-tile", 512, 512, texture.RGB565,
+			texture.Stripes{A: texture.RGBA{R: 170, G: 90, B: 60, A: 255},
+				B: texture.RGBA{R: 140, G: 70, B: 45, A: 255}, N: 32})),
+	}
+	grass := reg.Register(texture.MustNew("grass", 1024, 1024, texture.RGB888,
+		texture.Noise{Base: texture.RGBA{R: 90, G: 130, B: 70, A: 255},
+			Vary: 36, Scale: 128, Seed: 3}))
+	pavement := reg.Register(texture.MustNew("pavement", 512, 512, texture.RGB888,
+		texture.Checker{A: texture.RGBA{R: 150, G: 148, B: 142, A: 255},
+			B: texture.RGBA{R: 128, G: 126, B: 122, A: 255}, N: 32}))
+	stone := reg.Register(texture.MustNew("church-stone", 1024, 1024, texture.RGB888,
+		texture.Brick{Brick: texture.RGBA{R: 168, G: 162, B: 150, A: 255},
+			Mortar: texture.RGBA{R: 130, G: 126, B: 118, A: 255}, Rows: 24}))
+	door := reg.Register(texture.MustNew("door", 128, 256, texture.RGB888,
+		texture.Stripes{A: texture.RGBA{R: 96, G: 64, B: 36, A: 255},
+			B: texture.RGBA{R: 80, G: 52, B: 30, A: 255}, N: 8}))
+	tree := reg.Register(texture.MustNew("tree", 256, 256, texture.RGBA8888,
+		texture.Noise{Base: texture.RGBA{R: 50, G: 100, B: 45, A: 255},
+			Vary: 50, Scale: 32, Seed: 9}))
+	sky := reg.Register(texture.MustNew("sky", 1024, 512, texture.RGB565,
+		texture.SkyGradient{Zenith: texture.RGBA{R: 70, G: 110, B: 200, A: 255},
+			Horizon: texture.RGBA{R: 200, G: 220, B: 240, A: 255}}))
+
+	r := newRNG(0x56494C4C41474531) // "VILLAGE1"
+
+	// Terrain and street.
+	ground := &scene.Mesh{}
+	ground.GroundGrid(0, 180, 180, 12, 12, grass, 6, 6)
+	s.Add(scene.NewObject("ground", ground, vecmath.Identity()))
+
+	street := &scene.Mesh{}
+	street.GroundGrid(0.02, 7, 160, 2, 24, pavement, 3, 8)
+	s.Add(scene.NewObject("main-street", street, vecmath.Identity()))
+	cross := &scene.Mesh{}
+	cross.GroundGrid(0.02, 120, 6, 18, 2, pavement, 8, 3)
+	s.Add(scene.NewObject("cross-street", cross,
+		vecmath.Translate(vecmath.Vec3{Z: -40})))
+
+	// Houses along both sides of the main street, and along the cross
+	// street, in staggered rows so that near houses partially occlude
+	// far ones (overdraw -> depth complexity).
+	houseAt := func(name string, x, z, w, d, h float64) {
+		wall := walls[r.intn(len(walls))]
+		roof := roofs[r.intn(len(roofs))]
+		m := &scene.Mesh{}
+		m.Box(vecmath.Vec3{X: -w / 2, Y: 0, Z: -d / 2},
+			vecmath.Vec3{X: w / 2, Y: h, Z: d / 2},
+			scene.BoxTextures{
+				Sides: wall, Top: roof,
+				SideRepeatU: w / 4, SideRepeatV: h / 4,
+				TopRepeatU: w / 5, TopRepeatV: d / 5,
+			})
+		// Door on the street-facing side.
+		m.Quad(
+			vecmath.Vec3{X: -0.8, Y: 0, Z: d/2 + 0.02},
+			vecmath.Vec3{X: 0.8, Y: 0, Z: d/2 + 0.02},
+			vecmath.Vec3{X: 0.8, Y: 2.2, Z: d/2 + 0.02},
+			vecmath.Vec3{X: -0.8, Y: 2.2, Z: d/2 + 0.02},
+			door, 1, 1)
+		rot := vecmath.RotateY(r.rangef(-0.06, 0.06))
+		s.Add(scene.NewObject(name, m,
+			vecmath.Translate(vecmath.Vec3{X: x, Z: z}).Mul(rot)))
+	}
+
+	id := 0
+	for _, side := range []float64{-1, 1} {
+		for zi := 0; zi < 21; zi++ {
+			z := -155 + float64(zi)*15 + r.rangef(-2, 2)
+			x := side * (11 + r.rangef(0, 3))
+			houseAt(fmt.Sprintf("house-%d", id), x, z,
+				r.rangef(9, 13), r.rangef(7, 10), r.rangef(6, 10))
+			id++
+			// Second- and third-row houses behind, visible through gaps
+			// and overdrawn behind the front row (depth complexity).
+			if r.intn(4) != 0 {
+				houseAt(fmt.Sprintf("house-%d", id),
+					x+side*r.rangef(12, 16), z+r.rangef(-4, 4),
+					r.rangef(8, 11), r.rangef(6, 9), r.rangef(5, 8))
+				id++
+			}
+			if r.intn(2) != 0 {
+				houseAt(fmt.Sprintf("house-%d", id),
+					x+side*r.rangef(26, 34), z+r.rangef(-5, 5),
+					r.rangef(8, 12), r.rangef(6, 9), r.rangef(5, 9))
+				id++
+			}
+		}
+	}
+
+	// Garden fences lining the street: long low quads that overlay the
+	// fronts of the houses from street level.
+	for _, side := range []float64{-1, 1} {
+		for seg := 0; seg < 10; seg++ {
+			z0 := -150 + float64(seg)*31
+			m := &scene.Mesh{}
+			m.Quad(
+				vecmath.Vec3{X: 0, Y: 0, Z: 14},
+				vecmath.Vec3{X: 0, Y: 0, Z: -14},
+				vecmath.Vec3{X: 0, Y: 1.3, Z: -14},
+				vecmath.Vec3{X: 0, Y: 1.3, Z: 14},
+				walls[3], 8, 0.5)
+			s.Add(scene.NewObject(fmt.Sprintf("fence-%d-%d", seg, int(side)),
+				m, vecmath.Translate(vecmath.Vec3{X: side * 8.5, Z: z0})))
+		}
+	}
+	// Houses along the cross street.
+	for _, side := range []float64{-1, 1} {
+		for xi := 0; xi < 8; xi++ {
+			x := -110 + float64(xi)*28 + r.rangef(-3, 3)
+			if x > -25 && x < 25 {
+				continue // leave the junction open
+			}
+			z := -40 + side*(12+r.rangef(0, 3))
+			houseAt(fmt.Sprintf("house-%d", id), x, z,
+				r.rangef(7, 10), r.rangef(6, 8), r.rangef(4.5, 7))
+			id++
+		}
+	}
+
+	// Church at the north end of the main street.
+	church := &scene.Mesh{}
+	church.Box(vecmath.Vec3{X: -9, Y: 0, Z: -9}, vecmath.Vec3{X: 9, Y: 13, Z: 9},
+		scene.BoxTextures{Sides: stone, Top: roofs[0],
+			SideRepeatU: 3, SideRepeatV: 2.2, TopRepeatU: 3, TopRepeatV: 3})
+	church.Box(vecmath.Vec3{X: -3, Y: 0, Z: 9}, vecmath.Vec3{X: 3, Y: 22, Z: 15},
+		scene.BoxTextures{Sides: stone, Top: roofs[0],
+			SideRepeatU: 1.2, SideRepeatV: 4, TopRepeatU: 1, TopRepeatV: 1})
+	s.Add(scene.NewObject("church", church,
+		vecmath.Translate(vecmath.Vec3{Z: -185})))
+
+	// Trees scattered between and behind houses, plus an avenue of trees
+	// along the street edges overlaying the fences and houses.
+	for i := 0; i < 70; i++ {
+		m := &scene.Mesh{}
+		h := r.rangef(6, 11)
+		m.Billboard(vecmath.Vec3{}, h*0.8, h, tree)
+		var x, z float64
+		if i < 30 {
+			// Street avenue: alternating sides, regular spacing.
+			x = sign(float64(i%2)-0.5) * r.rangef(9, 10)
+			z = -150 + float64(i/2)*20 + r.rangef(-2, 2)
+		} else {
+			x = r.rangef(-150, 150)
+			z = r.rangef(-170, 160)
+			if x > -30 && x < 30 && z > -160 {
+				x += 60 * sign(x) // keep the street clear
+			}
+		}
+		s.Add(scene.NewObject(fmt.Sprintf("tree-%d", i), m,
+			vecmath.Translate(vecmath.Vec3{X: x, Z: z}).
+				Mul(vecmath.RotateY(r.rangef(0, 3)))))
+	}
+
+	// Sky dome plus an inner cloud layer: two full-screen background
+	// layers, as period databases drew (and a significant component of
+	// the Village's depth complexity of ~3.8).
+	skym := &scene.Mesh{}
+	skym.SkyDome(900, 400, sky)
+	s.Add(scene.NewObject("sky", skym, vecmath.Identity()))
+	clouds := reg.Register(texture.MustNew("clouds", 512, 512, texture.RGB565,
+		texture.Noise{Base: texture.RGBA{R: 205, G: 215, B: 235, A: 255},
+			Vary: 40, Scale: 24, Seed: 17}))
+	cloudm := &scene.Mesh{}
+	cloudm.SkyDome(650, 300, clouds)
+	s.Add(scene.NewObject("clouds", cloudm, vecmath.Identity()))
+
+	// Walk-through: south end of the main street to the church, a look
+	// around the junction, then down the cross street.
+	eye := func(x, z float64) vecmath.Vec3 { return vecmath.Vec3{X: x, Y: 1.7, Z: z} }
+	path := scene.Path{Points: []scene.Waypoint{
+		{Eye: eye(0, 160), Target: eye(0, 120)},
+		{Eye: eye(0, 110), Target: eye(0, 70)},
+		{Eye: eye(-2, 60), Target: eye(0, 20)},
+		{Eye: eye(0, 10), Target: eye(-3, -30)},
+		{Eye: eye(-1, -32), Target: eye(-40, -40)}, // glance down cross street
+		{Eye: eye(0, -48), Target: eye(0, -90)},
+		{Eye: eye(2, -100), Target: eye(0, -150)},
+		{Eye: eye(0, -150), Target: eye(0, -183)}, // approach the church
+		{Eye: eye(-8, -162), Target: eye(0, -183)},
+		{Eye: eye(-14, -150), Target: eye(-60, -44)}, // turn back
+		{Eye: eye(-30, -60), Target: eye(-80, -42)},
+		{Eye: eye(-60, -44), Target: eye(-120, -40)}, // along the cross street
+		{Eye: eye(-100, -42), Target: eye(-150, -40)},
+	}}
+
+	return &Workload{
+		Name:   "village",
+		Scene:  s,
+		Path:   path,
+		Frames: VillageFrames,
+		Up:     vecmath.Vec3{Y: 1},
+	}
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
