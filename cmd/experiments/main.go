@@ -55,29 +55,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		w = f
 	}
 
 	ctx := experiments.NewContext(scale, w)
 	run := func(e experiments.Experiment) {
-		start := time.Now()
+		start := time.Now() //texlint:ignore determinism progress timing on stderr only
 		if err := e.Run(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		//texlint:ignore determinism progress timing on stderr only
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *exp == "all" {
 		if *parallel >= 0 {
-			start := time.Now()
+			start := time.Now() //texlint:ignore determinism progress timing on stderr only
 			if err := ctx.Prefetch(*parallel); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "[prefetch done in %v]\n",
-				time.Since(start).Round(time.Millisecond))
+			//texlint:ignore determinism progress timing on stderr only
+			fmt.Fprintf(os.Stderr, "[prefetch done in %v]\n", time.Since(start).Round(time.Millisecond))
 		}
 		for _, e := range experiments.All() {
 			run(e)

@@ -41,7 +41,7 @@ func main() {
 			fatal(err)
 		}
 		if err := chart.Render(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

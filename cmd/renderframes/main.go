@@ -91,7 +91,7 @@ func writePNG(path string, pix []texture.RGBA, w, h int) error {
 		return err
 	}
 	if err := png.Encode(f, img); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -103,15 +103,16 @@ func writePPM(path string, pix []texture.RGBA, w, h int) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	bw := bufio.NewWriter(f)
 	fmt.Fprintf(bw, "P6\n%d %d\n255\n", w, h)
 	for _, c := range pix {
-		bw.WriteByte(c.R)
-		bw.WriteByte(c.G)
-		bw.WriteByte(c.B)
+		// The writer's error is sticky and surfaces at Flush.
+		_ = bw.WriteByte(c.R)
+		_ = bw.WriteByte(c.G)
+		_ = bw.WriteByte(c.B)
 	}
 	if err := bw.Flush(); err != nil {
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

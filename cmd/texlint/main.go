@@ -1,0 +1,171 @@
+// Command texlint runs the texcache static-analysis suite over the module.
+//
+// Usage:
+//
+//	go run ./cmd/texlint ./...
+//	go run ./cmd/texlint -json ./internal/cache
+//	go run ./cmd/texlint -list
+//
+// texlint loads every non-test package of the enclosing module, runs all
+// analyzers (or the comma-separated -analyzers subset) and prints one
+// diagnostic per line as
+//
+//	file:line: [analyzer] message
+//
+// Exit status is 0 when clean, 1 when findings were reported and 2 on a
+// load or usage error. Findings are suppressed by a comment on the same
+// line or the line above:
+//
+//	//texlint:ignore <analyzer> [reason]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"texcache/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	suite := lint.All()
+	if *analyzers != "" {
+		var err error
+		suite, err = lint.ByName(strings.Split(*analyzers, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		return 2
+	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, root, cwd, flag.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "texlint: no packages match %s\n", strings.Join(flag.Args(), " "))
+		return 2
+	}
+
+	diags := lint.Run(pkgs, suite)
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "texlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "texlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterPackages restricts the loaded module to the packages named by the
+// argument patterns. "./..." (or no arguments) keeps everything under the
+// current directory; "dir" or "dir/..." keeps that directory (and, with
+// /..., its subtree), resolved relative to the current directory.
+func filterPackages(pkgs []*lint.Package, root, cwd string, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	type rule struct {
+		dir     string // absolute
+		subtree bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		subtree := false
+		if strings.HasSuffix(p, "/...") {
+			subtree = true
+			p = strings.TrimSuffix(p, "/...")
+			if p == "." || p == "" {
+				p = cwd
+			}
+		} else if p == "..." {
+			subtree = true
+			p = cwd
+		}
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(cwd, p)
+		}
+		rules = append(rules, rule{dir: filepath.Clean(p), subtree: subtree})
+	}
+	keep := pkgs[:0]
+	for _, pkg := range pkgs {
+		dir := pkgDir(pkg, root)
+		for _, r := range rules {
+			if dir == r.dir || (r.subtree && strings.HasPrefix(dir+string(filepath.Separator), r.dir+string(filepath.Separator))) {
+				keep = append(keep, pkg)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+// pkgDir recovers the package's directory from its first file position.
+func pkgDir(pkg *lint.Package, root string) string {
+	if len(pkg.Files) == 0 {
+		return root
+	}
+	return filepath.Dir(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+}

@@ -83,7 +83,7 @@ func record(args []string) {
 	width := fs.Int("width", 512, "screen width")
 	height := fs.Int("height", 384, "screen height")
 	mode := fs.String("mode", "trilinear", "point | bilinear | trilinear")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 
 	w := workloadByName(*wl)
 	f, err := os.Create(*out)
@@ -130,7 +130,7 @@ func (h *infoHandler) EndFrame(pixels int64) {
 
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 	if fs.NArg() != 1 {
 		usage()
 	}
@@ -139,7 +139,7 @@ func info(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only
 	h := &infoHandler{textures: map[uint32]bool{}, levels: map[int]int64{}}
 	if _, err := trace.Replay(f, h); err != nil {
 		fatal(err)
@@ -167,7 +167,7 @@ func replay(args []string) {
 	l2mb := fs.Int("l2mb", 2, "L2 MB (0 = pull)")
 	l2tile := fs.Int("l2tile", 16, "L2 tile edge texels")
 	tlb := fs.Int("tlb", 16, "TLB entries")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
 	if fs.NArg() != 1 {
 		usage()
 	}
@@ -175,7 +175,7 @@ func replay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only
 
 	w := workloadByName(*wl)
 	cfg := core.Config{

@@ -20,6 +20,13 @@
 //   - internal/model: the paper's analytic models (working set, structure
 //     sizes, fractional advantage).
 //   - internal/experiments: regenerators for every table and figure.
+//   - internal/lint, cmd/texlint: the repo's stdlib-only static-analysis
+//     suite. `go run ./cmd/texlint ./...` checks determinism of the texel
+//     reference stream (no wall-clock, no unseeded randomness, no
+//     order-dependent map iteration), 64-bit counter widths, hot-path
+//     hygiene on texlint:hotpath functions, panic-message prefixes and
+//     unchecked errors; findings are suppressed with
+//     //texlint:ignore <analyzer> comments.
 //
 // See README.md for a tour and EXPERIMENTS.md for reproduction results.
 package texcache

@@ -1,0 +1,67 @@
+package cache
+
+import "testing"
+
+// FuzzPackTag verifies that PackTag is a lossless injection on the valid
+// field ranges (16-bit tid, 32-bit L2 block, 16-bit L1 sub-tile): every
+// field must be recoverable from the packed tag, so two distinct virtual
+// addresses can never alias an L1 line.
+func FuzzPackTag(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint16(0))
+	f.Add(uint32(1), uint32(2), uint16(3))
+	f.Add(uint32(0xFFFF), uint32(0xFFFFFFFF), uint16(0xFFFF))
+	f.Add(uint32(411), uint32(1<<20), uint16(255))
+	f.Fuzz(func(t *testing.T, tid, l2 uint32, l1 uint16) {
+		tid &= 0xFFFF // valid tid range is 16 bits by construction
+		tag := PackTag(tid, l2, l1)
+		if got := uint32(tag >> 48); got != tid {
+			t.Fatalf("tid not recoverable: packed %d, got %d", tid, got)
+		}
+		if got := uint32(tag >> 16); got != l2 {
+			t.Fatalf("l2 not recoverable: packed %d, got %d", l2, got)
+		}
+		if got := uint16(tag); got != l1 {
+			t.Fatalf("l1 not recoverable: packed %d, got %d", l1, got)
+		}
+		// Injectivity at the boundaries of each field: flipping any one
+		// valid field must change the tag.
+		if PackTag(tid^1, l2, l1) == tag || PackTag(tid, l2^1, l1) == tag ||
+			PackTag(tid, l2, l1^1) == tag {
+			t.Fatalf("tag %x collides with a single-field mutation", tag)
+		}
+	})
+}
+
+// FuzzSetHash verifies the 6D-blocked placement property SetHash exists
+// for: the four L1 tiles of a bilinear footprint (a 2x2 tile neighbourhood
+// at one MIP level of one texture) must map to four distinct sets even in
+// the smallest L1 organisation of the study (2KB, 2-way: 16 sets), so a
+// filter footprint never evicts itself. Neighbourhoods that straddle a
+// 256-tile boundary fold through the high-bit mix and carry no such
+// guarantee, matching the 8-bit interleave documented on SetHash.
+func FuzzSetHash(f *testing.F) {
+	f.Add(int32(0), int32(0), uint8(0), uint32(0))
+	f.Add(int32(13), int32(97), uint8(3), uint32(7))
+	f.Add(int32(254), int32(254), uint8(10), uint32(411))
+	f.Fuzz(func(t *testing.T, tileU, tileV int32, level uint8, tid uint32) {
+		if tileU < 0 || tileV < 0 {
+			t.Skip("tile coordinates are non-negative")
+		}
+		if tileU&0xFF == 0xFF || tileV&0xFF == 0xFF {
+			t.Skip("footprint straddles the 8-bit interleave window")
+		}
+		const sets = 16 // smallest L1 in the study: 2KB / 64B lines / 2 ways
+		var hashes [4]uint32
+		for i := 0; i < 4; i++ {
+			hashes[i] = SetHash(tileU+int32(i&1), tileV+int32(i>>1), level, tid) % sets
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if hashes[i] == hashes[j] {
+					t.Fatalf("footprint at (%d,%d) self-conflicts: corners %d and %d share set %d",
+						tileU, tileV, i, j, hashes[i])
+				}
+			}
+		}
+	})
+}

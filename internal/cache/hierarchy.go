@@ -51,6 +51,8 @@ type Hierarchy struct {
 
 // Access runs one texel reference through the hierarchy, following the
 // control flow of Figure 7, and accounts the bytes moved.
+//
+// texlint:hotpath
 func (h *Hierarchy) Access(ref Ref) {
 	if h.L1.Access(ref.L1) {
 		return // L1 hit: texel retrieved on chip.

@@ -30,6 +30,8 @@ type L1Ref struct {
 
 // PackTag packs the canonical virtual address into an L1 tag. The fields
 // are sized generously: 16-bit tid, 32-bit L2, 16-bit L1.
+//
+// texlint:hotpath
 func PackTag(tid uint32, l2 uint32, l1 uint16) uint64 {
 	return uint64(tid)<<48 | uint64(l2)<<16 | uint64(l1)
 }
@@ -40,6 +42,8 @@ func PackTag(tid uint32, l2 uint32, l1 uint16) uint64 {
 // tiles land in distinct sets, so a bilinear/trilinear footprint never
 // self-conflicts; level and texture id are folded in to spread MIP levels
 // and co-rendered textures.
+//
+// texlint:hotpath
 func SetHash(tileU, tileV int32, level uint8, tid uint32) uint32 {
 	h := interleave8(uint32(tileU)&0xFF, uint32(tileV)&0xFF)
 	h ^= (uint32(tileU) >> 8 * 0x9E37) ^ (uint32(tileV) >> 8 * 0x79B9)
@@ -167,6 +171,8 @@ func (c *L1Cache) SizeBytes() int { return len(c.tags) * L1LineBytes }
 // Access looks up the reference, returning true on a hit. On a miss, the
 // LRU line of the set is filled (the caller is responsible for modelling
 // where the fill data came from).
+//
+// texlint:hotpath
 func (c *L1Cache) Access(ref L1Ref) bool {
 	c.stats.Accesses++
 	c.tick++

@@ -182,6 +182,8 @@ func (c *L2Cache) Config() L2Config { return c.cfg }
 // index (tstart + L2 block number within the texture) and sub the L1
 // sub-block index within the L2 block. It returns the access class and
 // updates replacement state, sector bits and allocation as in Figure 7.
+//
+// texlint:hotpath
 func (c *L2Cache) Access(ptIndex uint32, sub uint8) L2Result {
 	e := &c.table[ptIndex]
 	bit := uint64(1) << sub

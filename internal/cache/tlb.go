@@ -30,6 +30,8 @@ func (t *TLB) Entries() int { return len(t.entries) }
 
 // Lookup checks whether the page-table index is cached, inserting it with
 // round-robin replacement on a miss. It returns true on a hit.
+//
+// texlint:hotpath
 func (t *TLB) Lookup(ptIndex uint32) bool {
 	t.lookups++
 	for _, e := range t.entries {

@@ -53,6 +53,10 @@ type addrSink struct {
 	collect *stats.Collector // optional
 }
 
+// Texel is invoked once per texel reference — hundreds of millions of
+// times per run — and must stay free of allocation and formatting.
+//
+// texlint:hotpath
 func (s *addrSink) Texel(tid texture.ID, u, v, m int) {
 	a := s.canon[tid].Addr(u, v, m)
 	ref := cache.Ref{L1: cache.L1Ref{

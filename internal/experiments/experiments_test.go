@@ -14,11 +14,24 @@ var sharedCtx *Context
 
 func ctx(t *testing.T) *Context {
 	t.Helper()
+	skipUnderRace(t)
 	if sharedCtx == nil {
 		sharedCtx = NewContext(Bench, &bytes.Buffer{})
 	}
 	sharedCtx.Out = &bytes.Buffer{}
 	return sharedCtx
+}
+
+// skipUnderRace skips bench-scale simulation tests when the race detector
+// is on: they are single-threaded (no race coverage to gain) and the
+// detector's slowdown pushes the package past the default test timeout.
+// The package's only concurrency, the Prefetch worker pool, stays covered
+// by TestPrefetchRace at tiny scale.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("single-threaded bench-scale test; covered by the non-race run")
+	}
 }
 
 func output(c *Context) string { return c.Out.(*bytes.Buffer).String() }

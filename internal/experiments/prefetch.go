@@ -5,64 +5,58 @@ import (
 	"runtime"
 	"sync"
 
+	"texcache/internal/core"
 	"texcache/internal/raster"
+	"texcache/internal/workload"
 )
+
+// prefetchJob is one memoizable simulation run: a point-sampled statistics
+// run (mode == nil) or a workload-by-filter cache sweep.
+type prefetchJob struct {
+	name string
+	mode *raster.SampleMode
+}
+
+// prefetchResult is the outcome of one job, written by exactly one worker
+// goroutine into its own slot.
+type prefetchResult struct {
+	stats *core.Results
+	sweep *core.Comparison
+	wl    *workload.Workload
+	err   error
+}
 
 // Prefetch computes the memoized simulation runs that the experiments
 // share — the three point-sampled statistics runs and the six
 // workload-by-filter cache sweeps — concurrently, bounded by `parallel`
 // goroutines (0 means GOMAXPROCS). Each run builds its own workload so the
-// scenes never race; the memo maps are filled under a mutex once the runs
-// complete. Subsequent experiment calls hit the memos and print instantly.
+// scenes never race, and each worker writes only its own result slot, so
+// no locking is needed. The memo maps are filled after all workers finish,
+// in job order: which workload instance and which error the context ends
+// up with is a function of the job list alone, never of goroutine
+// scheduling.
 func (c *Context) Prefetch(parallel int) error {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	type statsJob struct{ name string }
-	type sweepJob struct {
-		name string
-		mode raster.SampleMode
-	}
-	var jobs []any
+	var jobs []prefetchJob
 	for _, name := range []string{"village", "city", "mall"} {
-		jobs = append(jobs, statsJob{name})
+		if _, ok := c.statsRuns[name]; !ok {
+			jobs = append(jobs, prefetchJob{name: name})
+		}
 		for _, mode := range []raster.SampleMode{raster.Bilinear, raster.Trilinear} {
-			jobs = append(jobs, sweepJob{name, mode})
+			if _, ok := c.cmpRuns[fmt.Sprintf("%s/%s", name, mode)]; !ok {
+				jobs = append(jobs, prefetchJob{name: name, mode: &mode})
+			}
 		}
 	}
 
-	var (
-		mu    sync.Mutex
-		wg    sync.WaitGroup
-		sem   = make(chan struct{}, parallel)
-		first error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if first == nil {
-			first = err
-		}
-	}
-	for _, job := range jobs {
-		// Skip work that is already memoized.
-		mu.Lock()
-		switch j := job.(type) {
-		case statsJob:
-			if _, ok := c.statsRuns[j.name]; ok {
-				mu.Unlock()
-				continue
-			}
-		case sweepJob:
-			if _, ok := c.cmpRuns[fmt.Sprintf("%s/%s", j.name, j.mode)]; ok {
-				mu.Unlock()
-				continue
-			}
-		}
-		mu.Unlock()
-
+	results := make([]prefetchResult, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i, job := range jobs {
 		wg.Add(1)
-		go func(job any) {
+		go func(i int, job prefetchJob) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -70,34 +64,36 @@ func (c *Context) Prefetch(parallel int) error {
 			// workload instance (scene graphs are not goroutine-safe
 			// to share across concurrent renders of different runs).
 			iso := NewContext(c.Scale, c.Out)
-			switch j := job.(type) {
-			case statsJob:
-				r, err := iso.statsRun(j.name)
-				if err != nil {
-					fail(err)
-					return
-				}
-				mu.Lock()
-				c.statsRuns[j.name] = r
-				if _, ok := c.workloads[j.name]; !ok {
-					c.workloads[j.name] = iso.workloads[j.name]
-				}
-				mu.Unlock()
-			case sweepJob:
-				r, err := iso.sweep(j.name, j.mode)
-				if err != nil {
-					fail(err)
-					return
-				}
-				mu.Lock()
-				c.cmpRuns[fmt.Sprintf("%s/%s", j.name, j.mode)] = r
-				if _, ok := c.workloads[j.name]; !ok {
-					c.workloads[j.name] = iso.workloads[j.name]
-				}
-				mu.Unlock()
+			res := &results[i]
+			if job.mode == nil {
+				res.stats, res.err = iso.statsRun(job.name)
+			} else {
+				res.sweep, res.err = iso.sweep(job.name, *job.mode)
 			}
-		}(job)
+			res.wl = iso.workloads[job.name]
+		}(i, job)
 	}
 	wg.Wait()
+
+	// Merge in job order so the surviving workload instance (and the
+	// reported error) are deterministic regardless of completion order.
+	var first error
+	for i, job := range jobs {
+		res := results[i]
+		if res.err != nil {
+			if first == nil {
+				first = res.err
+			}
+			continue
+		}
+		if job.mode == nil {
+			c.statsRuns[job.name] = res.stats
+		} else {
+			c.cmpRuns[fmt.Sprintf("%s/%s", job.name, *job.mode)] = res.sweep
+		}
+		if _, ok := c.workloads[job.name]; !ok && res.wl != nil {
+			c.workloads[job.name] = res.wl
+		}
+	}
 	return first
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"texcache/internal/raster"
+)
+
+// tinyScale keeps the race-detector regression test cheap: the point is
+// exercising the worker pool's goroutine structure, not cache accuracy.
+var tinyScale = Scale{Name: "tiny", Width: 32, Height: 24,
+	VillageFrames: 2, CityFrames: 2, MallFrames: 2}
+
+// TestPrefetchRace drives the parallel runner with more workers than jobs
+// so every job runs concurrently; `go test -race` turns any unsynchronized
+// sharing between the isolated contexts into a failure. It then checks
+// that collection is order-deterministic: two prefetched contexts must
+// memoize identical keys and identical totals regardless of which
+// goroutine finished first.
+func TestPrefetchRace(t *testing.T) {
+	run := func(parallel int) *Context {
+		c := NewContext(tinyScale, io.Discard)
+		if err := c.Prefetch(parallel); err != nil {
+			t.Fatalf("Prefetch(%d): %v", parallel, err)
+		}
+		return c
+	}
+	a := run(16)
+	b := run(1)
+
+	if len(a.statsRuns) != 3 || len(a.cmpRuns) != 6 {
+		t.Fatalf("prefetch memoized %d stats runs and %d sweeps, want 3 and 6",
+			len(a.statsRuns), len(a.cmpRuns))
+	}
+	for _, name := range []string{"village", "city", "mall"} {
+		ra, rb := a.statsRuns[name], b.statsRuns[name]
+		if ra == nil || rb == nil {
+			t.Fatalf("%s: missing stats run", name)
+		}
+		if ra.Totals != rb.Totals {
+			t.Errorf("%s: stats totals differ between parallel and sequential prefetch", name)
+		}
+		if a.workloads[name] == nil {
+			t.Errorf("%s: workload not retained", name)
+		}
+		for _, mode := range []raster.SampleMode{raster.Bilinear, raster.Trilinear} {
+			key := fmt.Sprintf("%s/%s", name, mode)
+			ca, cb := a.cmpRuns[key], b.cmpRuns[key]
+			if ca == nil || cb == nil {
+				t.Fatalf("%s: missing sweep", key)
+			}
+			if len(ca.Results) != len(cb.Results) {
+				t.Fatalf("%s: sweep lengths differ", key)
+			}
+			for i := range ca.Results {
+				if ca.Results[i].Totals != cb.Results[i].Totals {
+					t.Errorf("%s spec %d: totals differ between parallel and sequential prefetch", key, i)
+				}
+			}
+		}
+	}
+}

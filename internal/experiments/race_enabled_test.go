@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the bench-scale simulation tests: they are
+// single-threaded, so running them under the race detector adds no race
+// coverage, only a 5-10x slowdown that exceeds the default test timeout.
+// TestPrefetchRace covers the package's only concurrency at tiny scale.
+const raceEnabled = true

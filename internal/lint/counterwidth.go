@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Counterwidth requires byte/texel accumulators to be 64-bit. At the
+// paper's full scale a single run touches 1024x768 pixels over 411 frames
+// with up to eight texel reads per pixel — ~2.6e9 references, past the
+// int32 limit before byte multipliers are even applied, and `int` is only
+// 64-bit by accident of platform. Counters identified by name (Bytes,
+// Texels, Accesses, Misses, ...) must therefore accumulate in int64 or
+// uint64.
+var Counterwidth = &Analyzer{
+	Name: "counterwidth",
+	Doc:  "byte/texel counters must accumulate in 64-bit integers",
+	Run:  runCounterwidth,
+}
+
+// counterName matches identifiers that accumulate reference or byte
+// counts at trace scale.
+var counterName = regexp.MustCompile(
+	`(?i)(bytes|texels?|pixels?|refs|accesses|misses|hits|lookups|evictions|steps)$`)
+
+func runCounterwidth(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+					checkCounter(pass, n.Lhs[0])
+				}
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC {
+					checkCounter(pass, n.X)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkCounter(pass *Pass, lhs ast.Expr) {
+	name := lhsName(lhs)
+	if name == "" || !counterName.MatchString(name) {
+		return
+	}
+	t := pass.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch b.Kind() {
+	case types.Int, types.Int8, types.Int16, types.Int32,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32:
+		pass.Reportf(lhs.Pos(),
+			"counter %s accumulates in %s; use int64 — it overflows at full trace scale (1024x768 x 411 frames)",
+			name, t)
+	}
+}
+
+// lhsName returns the final identifier of the assignment target.
+func lhsName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return lhsName(e.X)
+	}
+	return ""
+}

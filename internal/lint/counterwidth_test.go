@@ -1,0 +1,63 @@
+package lint
+
+import "testing"
+
+func TestCounterwidth(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"narrow-fields", `package fix
+
+type stats struct {
+	hostBytes int32
+	texels    int
+	misses    uint32
+	hits      int64
+}
+
+func (s *stats) record(n int32) {
+	s.hostBytes += n //want use int64
+	s.texels++       //want use int64
+	s.misses++       //want use int64
+	s.hits++         // already 64-bit
+}
+`},
+		{"wide-ok", `package fix
+
+type counters struct {
+	l2ReadBytes int64
+	lookups     uint64
+}
+
+func (c *counters) tick(dl int64) {
+	c.l2ReadBytes += dl
+	c.lookups++
+}
+`},
+		{"non-counter-names", `package fix
+
+func f(n int) int {
+	// Loop indices and scalars without counter names stay exempt even
+	// when 32-bit; the analyzer keys on accumulator naming.
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+`},
+		{"locals-and-elements", `package fix
+
+func f(perLevelRefs []int32, texels int16) {
+	perLevelRefs[0] += 1 //want use int64
+	texels++             //want use int64
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testAnalyzer(t, Counterwidth, "counterwidth_"+tc.name, tc.src)
+		})
+	}
+}

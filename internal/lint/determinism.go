@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags constructs that can make the simulated texel reference
+// stream — and therefore every table in the reproduction — depend on
+// anything but its inputs: wall-clock reads, randomness without a fixed
+// seed, and map-iteration order feeding slices or output.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, unseeded randomness and order-dependent map iteration",
+	Run:  runDeterminism,
+}
+
+// randGlobalOK lists math/rand functions that do not draw from the global
+// source; everything else at package level does.
+var randGlobalOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+				return true
+			case *ast.BlockStmt:
+				stmts = n.List
+			case *ast.CaseClause:
+				stmts = n.Body
+			case *ast.CommClause:
+				stmts = n.Body
+			default:
+				return true
+			}
+			// Range statements are checked with their successor statement
+			// in hand, so the canonical collect-keys-then-sort pattern is
+			// recognized rather than flagged.
+			for i, s := range stmts {
+				for {
+					lbl, ok := s.(*ast.LabeledStmt)
+					if !ok {
+						break
+					}
+					s = lbl.Stmt
+				}
+				rng, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(stmts) {
+					next = stmts[i+1]
+				}
+				checkMapRange(pass, rng, next)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	for _, name := range []string{"Now", "Since"} {
+		if calleeIsPkgFunc(info, call, "time", name) {
+			pass.Reportf(call.Pos(),
+				"time.%s makes results depend on the wall clock; simulator state must be a pure function of its inputs", name)
+			return
+		}
+	}
+	pkgPath := calleePkgPath(info, call)
+	if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+		return
+	}
+	obj := calleeObj(info, call)
+	if _, ok := obj.(*types.Func); !ok {
+		return
+	}
+	if obj.Name() == "New" && len(call.Args) == 1 {
+		if fixedSeedSource(pass, call.Args[0]) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"rand.New without a fixed-seed rand.NewSource(<constant>) makes runs irreproducible")
+		return
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Methods on *rand.Rand are fine: the source was vetted at New.
+		return
+	}
+	if !randGlobalOK[obj.Name()] {
+		pass.Reportf(call.Pos(),
+			"%s.%s draws from the global random source; use rand.New(rand.NewSource(<constant>))",
+			pkgPath, obj.Name())
+	}
+}
+
+// fixedSeedSource reports whether e is rand.NewSource (or NewPCG etc.)
+// applied to compile-time constant arguments.
+func fixedSeedSource(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(pass.Pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.Pkg.Info.Types[arg]; !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// checkMapRange flags `for ... range m` over a map whose body appends to
+// or indexes into a slice, or emits output: iteration order is randomized
+// per run, so anything order-sensitive built inside is nondeterministic.
+// The canonical remedy — collecting the keys and sorting them immediately
+// after the loop — is recognized via next and not flagged.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, next ast.Stmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	reported := false
+	report := func(what string) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(rng.Pos(),
+			"map iteration order is randomized but the loop body %s; sort the keys first", what)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass.Pkg.Info, n, "append") {
+				if !sortedAfterLoop(pass, n, next) {
+					report("appends to a slice")
+				}
+				return true
+			}
+			if isOutputCall(pass, n) {
+				report("writes output")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if bt := pass.TypeOf(ix.X); bt != nil {
+						switch bt.Underlying().(type) {
+						case *types.Slice, *types.Array, *types.Pointer:
+							report("assigns through a slice index")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfterLoop reports whether the statement following the range loop
+// sorts the slice that appendCall appends to — the collect-then-sort
+// idiom this analyzer's diagnostic recommends.
+func sortedAfterLoop(pass *Pass, appendCall *ast.CallExpr, next ast.Stmt) bool {
+	if next == nil || len(appendCall.Args) == 0 {
+		return false
+	}
+	target, ok := ast.Unparen(appendCall.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	stmt, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if p := calleePkgPath(pass.Pkg.Info, call); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// outputFuncs are fmt functions that write to a stream.
+var outputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// outputMethods are io-style writer methods; emitting them per map entry
+// serializes random order into the output.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	if p := calleePkgPath(info, call); p == "fmt" {
+		obj := calleeObj(info, call)
+		return obj != nil && outputFuncs[obj.Name()]
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		return outputMethods[sel.Sel.Name]
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package lint
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"wallclock", `package fix
+
+import "time"
+
+var epoch time.Time
+
+func f() time.Duration {
+	now := time.Now() //want time.Now
+	_ = now
+	return time.Since(epoch) //want time.Since
+}
+
+func ok() time.Duration {
+	// Pure duration arithmetic is fine; only clock reads are flagged.
+	return 3 * time.Second
+}
+`},
+		{"rand-global", `package fix
+
+import "math/rand"
+
+func f() int {
+	return rand.Intn(6) //want global random source
+}
+
+func g() {
+	rand.Shuffle(3, func(i, j int) {}) //want global random source
+}
+`},
+		{"rand-seeded", `package fix
+
+import "math/rand"
+
+var seed int64
+
+func fixed() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6) // methods on a vetted *rand.Rand are fine
+}
+
+func unseeded() *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //want without a fixed-seed
+}
+`},
+		{"map-append", `package fix
+
+import "sort"
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { //want sort the keys
+		out = append(out, k)
+	}
+	return out
+}
+
+func good(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`},
+		{"map-output", `package fix
+
+import (
+	"fmt"
+	"io"
+)
+
+func bad(w io.Writer, m map[string]int) {
+	for k, v := range m { //want writes output
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func alsoBad(w io.Writer, m map[string]int) {
+	for k := range m { //want writes output
+		if _, err := w.Write([]byte(k)); err != nil {
+			return
+		}
+	}
+}
+`},
+		{"map-index", `package fix
+
+func bad(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { //want slice index
+		out[i] = v
+		i++
+	}
+}
+
+func good(m map[int]int) int {
+	// Commutative reduction into a scalar does not depend on order.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`},
+		{"slice-range-ok", `package fix
+
+func f(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v) // slice iteration is ordered; no finding
+	}
+	return out
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testAnalyzer(t, Determinism, "determinism_"+tc.name, tc.src)
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errcheck forbids silently dropped error returns: a call whose results
+// include an error must consume it, or discard it explicitly with `_ =`
+// so the decision is visible in review. Both plain statements and
+// defer/go statements are checked. The fmt print family and methods on
+// strings.Builder / bytes.Buffer are exempt: their errors are vestigial.
+var Errcheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error returns must be consumed or explicitly discarded with _ =",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDropped(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "spawned ")
+			}
+			return true
+		})
+	}
+}
+
+func checkDropped(pass *Pass, call *ast.CallExpr, kind string) {
+	if !returnsError(pass, call) || exemptCall(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%scall to %s drops its error; handle it or discard explicitly with _ =",
+		kind, callName(call))
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCall reports whether the dropped error is conventionally ignored:
+// fmt printing, or writes to in-memory buffers that cannot fail.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	if calleePkgPath(info, call) == "fmt" {
+		obj := calleeObj(info, call)
+		if obj != nil {
+			switch obj.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// callName renders the callee for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function"
+}

@@ -1,0 +1,72 @@
+package lint
+
+import "testing"
+
+func TestErrcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"dropped", `package fix
+
+import "errors"
+
+func fail() error { return errors.New("fix: boom") }
+
+func multi() (int, error) { return 0, nil }
+
+func f() {
+	fail()    //want drops its error
+	multi()   //want drops its error
+	_ = fail() // explicit discard is the sanctioned escape hatch
+	if err := fail(); err != nil {
+		return
+	}
+	n, err := multi()
+	_, _ = n, err
+}
+`},
+		{"defer-and-go", `package fix
+
+import "errors"
+
+func fail() error { return errors.New("fix: boom") }
+
+func f() {
+	defer fail() //want deferred call
+	go fail()    //want spawned call
+	defer func() { _ = fail() }()
+}
+`},
+		{"exemptions", `package fix
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func f() {
+	fmt.Println("hi")
+	var sb strings.Builder
+	sb.WriteString("x")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintf(&sb, "%d", 1)
+}
+`},
+		{"non-error-results", `package fix
+
+func count() int { return 1 }
+
+func f() {
+	count() // no error in the results; not this analyzer's business
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testAnalyzer(t, Errcheck, "errcheck_"+tc.name, tc.src)
+		})
+	}
+}

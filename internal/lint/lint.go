@@ -1,0 +1,273 @@
+// Package lint is a small static-analysis framework for the texcache
+// simulator, built purely on the standard library's go/parser, go/ast,
+// go/types and go/importer. It exists because the simulator's value rests
+// on its texel reference stream being bit-for-bit deterministic: the
+// paper's tables are only comparable across cache architectures because
+// the identical trace drives every configuration. The analyzers enforce
+// the invariants that keep it so — no wall-clock or unseeded randomness,
+// no order-dependent map iteration feeding results, 64-bit byte/texel
+// counters, allocation-free hot paths, and the repo's panic and error
+// conventions.
+//
+// Diagnostics may be suppressed with a comment on the offending line or
+// the line directly above it:
+//
+//	//texlint:ignore <analyzer> [reason]
+//
+// where <analyzer> is an analyzer name or "all".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it and
+// a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical "file:line: [analyzer]
+// message" form used by cmd/texlint.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Package is one parsed and type-checked package as presented to analyzers.
+type Package struct {
+	// Path is the import path (or a synthetic name for test fixtures).
+	Path string
+	// Fset positions all files of the package.
+	Fset *token.FileSet
+	// Files holds the parsed syntax, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression and object tables.
+	Info *types.Info
+}
+
+// Pass is the per-(analyzer, package) context handed to Analyzer.Run.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Analyzer is one self-contained check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Hotpath,
+		Counterwidth,
+		Panicstyle,
+		Errcheck,
+	}
+}
+
+// ByName returns the analyzers named, or an error naming the unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package, filters findings through
+// //texlint:ignore directives, and returns the remainder sorted by file,
+// line and analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, out: &diags}
+			a.Run(pass)
+		}
+		diags = suppress(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //texlint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // or {"all": true}
+}
+
+// parseIgnores collects every ignore directive in the package.
+func parseIgnores(pkg *Package) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "texlint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: make(map[string]bool),
+				}
+				// Everything after the analyzer list is free-form
+				// rationale; analyzers are comma- or space-separated
+				// names before the first non-name token.
+			tokens:
+				for _, tok := range strings.Fields(rest) {
+					for _, name := range strings.Split(tok, ",") {
+						if name == "" {
+							continue
+						}
+						if !isAnalyzerName(name) {
+							break tokens
+						}
+						d.analyzers[name] = true
+					}
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// isAnalyzerName reports whether s names a known analyzer or "all".
+func isAnalyzerName(s string) bool {
+	if s == "all" {
+		return true
+	}
+	for _, a := range All() {
+		if a.Name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// suppress drops diagnostics covered by an ignore directive on the same
+// line or the line immediately above.
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	dirs := parseIgnores(pkg)
+	if len(dirs) == 0 {
+		return diags
+	}
+	covered := func(d Diagnostic) bool {
+		for _, dir := range dirs {
+			if dir.file != d.Pos.Filename {
+				continue
+			}
+			if dir.line != d.Pos.Line && dir.line != d.Pos.Line-1 {
+				continue
+			}
+			if dir.analyzers["all"] || dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !covered(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// calleeObj resolves the object a call invokes, following selector and
+// plain identifiers. It returns nil for indirect calls and conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleeIsPkgFunc reports whether the call invokes pkgPath.name.
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleePkgPath returns the defining package path of the callee, or "".
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// stdImporter type-checks standard-library dependencies from source; the
+// toolchain no longer ships export data for them. One shared instance (and
+// one shared FileSet) caches each stdlib package across every load and
+// every test fixture.
+var (
+	sharedFset = token.NewFileSet()
+	stdOnce    sync.Once
+	stdImp     types.Importer
+	newInfo    = func() *types.Info {
+		return &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+)
+
+func stdImporter() types.Importer {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return stdImp
+}
+
+// moduleImporter serves already-checked module packages from a map and
+// defers everything else (the standard library) to the source importer.
+type moduleImporter struct {
+	module map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.module[path]; ok {
+		return p, nil
+	}
+	return stdImporter().Import(path)
+}
+
+// ModuleRoot walks upward from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// parsedPkg is one directory's worth of parsed, not-yet-checked sources.
+type parsedPkg struct {
+	path    string // import path
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// LoadModule parses and type-checks every non-test package of the module
+// rooted at root, returning them in dependency order. Test files are
+// excluded by design: the determinism and hot-path invariants apply to
+// simulator code, and tests legitimately use t.TempDir, timeouts and
+// unsorted iteration.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	parsed := make(map[string]*parsedPkg)
+	for _, dir := range dirs {
+		pp, err := parseDir(root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pp != nil {
+			parsed[pp.path] = pp
+		}
+	}
+
+	order, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{module: make(map[string]*types.Package)}
+	var pkgs []*Package
+	for _, path := range order {
+		pp := parsed[path]
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pp.path, sharedFset, pp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", pp.path, err)
+		}
+		imp.module[pp.path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  pp.path,
+			Fset:  sharedFset,
+			Files: pp.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// parseDir parses the non-test .go files of dir, or returns nil when the
+// directory holds no buildable Go sources.
+func parseDir(root, modPath, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pp := &parsedPkg{path: importPath, dir: dir}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pp.files = append(pp.files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				pp.imports = append(pp.imports, p)
+			}
+		}
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	return pp, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer, detecting cycles.
+func topoSort(parsed map[string]*parsedPkg) ([]string, error) {
+	paths := make([]string, 0, len(parsed))
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		}
+		state[p] = visiting
+		pp := parsed[p]
+		if pp != nil {
+			deps := append([]string(nil), pp.imports...)
+			sort.Strings(deps)
+			for _, dep := range deps {
+				if _, ok := parsed[dep]; !ok {
+					return fmt.Errorf("lint: %s imports %s which has no sources", p, dep)
+				}
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+			order = append(order, p)
+		}
+		state[p] = done
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// CheckSource parses and type-checks a single in-memory fixture package;
+// the map is filename -> source. It is the test harness for analyzers.
+func CheckSource(path string, files map[string]string) (*Package, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parsedFiles []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(sharedFset, n, files[n],
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsedFiles = append(parsedFiles, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: &moduleImporter{}}
+	tpkg, err := conf.Check(path, sharedFset, parsedFiles, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: sharedFset, Files: parsedFiles, Types: tpkg, Info: info}, nil
+}

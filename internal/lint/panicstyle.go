@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strconv"
+	"strings"
+)
+
+// Panicstyle enforces the repo's invariant-panic convention: a panic whose
+// message is statically known must begin with "<package>: " (as in
+// `panic("cache: unknown policy")`), so a crash in a long batch run names
+// the subsystem without a symbolized stack. Panics re-raising an error
+// value (`panic(err)`) are exempt — their text is the error's, which the
+// constructors already prefix via fmt.Errorf.
+var Panicstyle = &Analyzer{
+	Name: "panicstyle",
+	Doc:  "panic messages must carry the package-name prefix",
+	Run:  runPanicstyle,
+}
+
+func runPanicstyle(pass *Pass) {
+	want := pass.Pkg.Types.Name() + ": "
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.Pkg.Info, call, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			head, ok := messageHead(pass, call.Args[0])
+			if !ok {
+				return true // dynamic value such as panic(err); cannot verify
+			}
+			if !strings.HasPrefix(head, want) {
+				pass.Reportf(call.Pos(),
+					"panic message %q must start with %q", truncate(head, 40), want)
+			}
+			return true
+		})
+	}
+}
+
+// messageHead extracts the static leading text of a panic argument: a
+// string constant, the constant head of a `"lit" + x` concatenation, or
+// the format string of fmt.Sprintf/fmt.Errorf.
+func messageHead(pass *Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		return messageHead(pass, e.X)
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(e.Value); err == nil {
+			return s, true
+		}
+	case *ast.CallExpr:
+		for _, fn := range []string{"Sprintf", "Sprint", "Errorf"} {
+			if calleeIsPkgFunc(pass.Pkg.Info, e, "fmt", fn) && len(e.Args) > 0 {
+				return messageHead(pass, e.Args[0])
+			}
+		}
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,66 @@
+package lint
+
+import "testing"
+
+func TestPanicstyle(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"literals", `package fix
+
+func f(ok bool) {
+	if !ok {
+		panic("fix: invariant violated")
+	}
+	panic("invariant violated") //want must start with "fix: "
+}
+`},
+		{"sprintf", `package fix
+
+import "fmt"
+
+func f(kind int) {
+	if kind < 0 {
+		panic(fmt.Sprintf("fix: unknown kind %d", kind))
+	}
+	panic(fmt.Sprintf("unknown kind %d", kind)) //want must start with "fix: "
+}
+`},
+		{"concat", `package fix
+
+func f(name string) {
+	if name == "" {
+		panic("fix: empty name " + name)
+	}
+	panic("empty name " + name) //want must start with "fix: "
+}
+`},
+		{"const-prefix", `package fix
+
+const prefix = "fix: "
+
+func f() {
+	panic(prefix + "boom") // constant-folded; prefix is verifiable
+}
+`},
+		{"dynamic-exempt", `package fix
+
+import "errors"
+
+func f(err error) {
+	if err != nil {
+		// The error's text already carries the constructor's prefix;
+		// its content cannot be checked statically.
+		panic(err)
+	}
+	panic(errors.New("no prefix here")) // non-Sprintf dynamic value: exempt
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testAnalyzer(t, Panicstyle, "panicstyle_"+tc.name, tc.src)
+		})
+	}
+}

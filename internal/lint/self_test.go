@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepositoryIsClean runs the whole suite over the real module, so any
+// regression anywhere in the repository — a dropped error, a wall-clock
+// read, a narrowed counter, an unprefixed panic, an allocation on a
+// texlint:hotpath function — fails `go test ./...` without needing the
+// texlint CLI to be wired into the build.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module loader is missing sources", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadModuleOrder checks that dependencies precede importers, which
+// the type-checking loop relies on.
+func TestLoadModuleOrder(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, p := range pkgs {
+		pos[p.Path] = i
+	}
+	for _, p := range pkgs {
+		for _, imp := range p.Types.Imports() {
+			j, ok := pos[imp.Path()]
+			if ok && j >= pos[p.Path] {
+				t.Errorf("%s checked before its dependency %s", p.Path, imp.Path())
+			}
+		}
+	}
+}

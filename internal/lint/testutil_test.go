@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// testAnalyzer type-checks the fixture source as an in-memory package and
+// compares the analyzer's diagnostics against `//want <substring>` markers:
+// a line carrying a marker must produce exactly one diagnostic whose
+// message contains the substring, and no unmarked line may produce any.
+func testAnalyzer(t *testing.T, a *Analyzer, name, src string) {
+	t.Helper()
+	pkg, err := CheckSource(name, map[string]string{name + ".go": src})
+	if err != nil {
+		t.Fatalf("fixture %s does not type-check: %v", name, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	want := make(map[int]string)
+	for i, line := range strings.Split(src, "\n") {
+		if _, after, ok := strings.Cut(line, "//want "); ok {
+			want[i+1] = strings.TrimSpace(after)
+		}
+	}
+
+	seen := make(map[int]bool)
+	for _, d := range diags {
+		sub, ok := want[d.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected diagnostic at line %d: %s", d.Pos.Line, d.Message)
+			continue
+		}
+		if seen[d.Pos.Line] {
+			t.Errorf("duplicate diagnostic at line %d: %s", d.Pos.Line, d.Message)
+			continue
+		}
+		seen[d.Pos.Line] = true
+		if !strings.Contains(d.Message, sub) {
+			t.Errorf("line %d: message %q does not contain %q", d.Pos.Line, d.Message, sub)
+		}
+		if d.Analyzer != a.Name {
+			t.Errorf("line %d: diagnostic attributed to %q, want %q", d.Pos.Line, d.Analyzer, a.Name)
+		}
+	}
+	for line, sub := range want {
+		if !seen[line] {
+			t.Errorf("missing diagnostic at line %d (want %q)", line, sub)
+		}
+	}
+}

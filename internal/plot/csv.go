@@ -14,7 +14,7 @@ func LoadCSV(path string) (header []string, cols [][]float64, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only
 	rows, err := csv.NewReader(f).ReadAll()
 	if err != nil {
 		return nil, nil, err

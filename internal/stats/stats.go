@@ -201,6 +201,8 @@ func (c *Collector) AddPixels(n int64) { c.pixels += n }
 
 // Texel records one texel reference. u and v must be wrapped into the
 // level extent and m must be a valid MIP level of the texture.
+//
+// texlint:hotpath
 func (c *Collector) Texel(tid texture.ID, u, v, m int) {
 	c.texels++
 	if lvl := min(m, MaxLevels-1); lvl >= 0 {

@@ -1,0 +1,50 @@
+package texture
+
+import "testing"
+
+// FuzzAddr verifies the address-translation round trip on valid texel
+// coordinates: Addr must place every <u, v, m> in an L2/L1 block that
+// TexelOrigin maps back to the enclosing L1 tile's origin at the same MIP
+// level. Together with the level-major block numbering this guarantees
+// two different tiles never share a virtual address — the invariant the
+// whole cache hierarchy tags by.
+func FuzzAddr(f *testing.F) {
+	tilings := []*Tiling{
+		MustNewTiling(MustNew("square", 128, 128, RGBA8888, nil), CanonicalL1),
+		MustNewTiling(MustNew("wide", 256, 32, RGB565, nil), CanonicalL1),
+		MustNewTiling(MustNew("tall", 16, 64, RGBA8888, nil), TileLayout{L2Size: 32, L1Size: 4}),
+		MustNewTiling(MustNew("tiny", 4, 4, RGBA8888, nil), CanonicalL1),
+	}
+	f.Add(uint16(0), uint16(0), uint8(0), uint8(0))
+	f.Add(uint16(127), uint16(127), uint8(0), uint8(0))
+	f.Add(uint16(200), uint16(31), uint8(2), uint8(1))
+	f.Add(uint16(9), uint16(60), uint8(5), uint8(2))
+	f.Fuzz(func(t *testing.T, uRaw, vRaw uint16, mRaw, which uint8) {
+		ti := tilings[int(which)%len(tilings)]
+		m := int(mRaw) % len(ti.Tex.Levels)
+		lvl := ti.Tex.Levels[m]
+		u := int(uRaw) % lvl.Width
+		v := int(vRaw) % lvl.Height
+
+		a := ti.Addr(u, v, m)
+		if a.L2 >= ti.NumL2Blocks() {
+			t.Fatalf("Addr(%d,%d,%d) L2 block %d out of range [0,%d)", u, v, m, a.L2, ti.NumL2Blocks())
+		}
+		if lm := ti.LevelOfL2(a.L2); lm != m {
+			t.Fatalf("Addr(%d,%d,%d) landed in level %d's block range", u, v, m, lm)
+		}
+		ou, ov, om, ok := ti.TexelOrigin(a.L2, a.L1)
+		if !ok {
+			t.Fatalf("TexelOrigin rejected Addr(%d,%d,%d) = %+v", u, v, m, a)
+		}
+		l1 := ti.Layout.L1Size
+		if om != m || ou != u/l1*l1 || ov != v/l1*l1 {
+			t.Fatalf("round trip Addr(%d,%d,%d) -> %+v -> (%d,%d,%d); want tile origin (%d,%d,%d)",
+				u, v, m, a, ou, ov, om, u/l1*l1, v/l1*l1, m)
+		}
+		if int(a.L1) >= ti.Layout.SubPerBlock() {
+			t.Fatalf("Addr(%d,%d,%d) L1 sub-tile %d exceeds %d per block",
+				u, v, m, a.L1, ti.Layout.SubPerBlock())
+		}
+	})
+}

@@ -138,6 +138,8 @@ func (ti *Tiling) NumL2Blocks() uint32 { return ti.numL2 }
 // Addr translates a texel coordinate <u, v> within MIP level m to the
 // virtual texture block address <tid, L2, L1>. u and v must already be
 // wrapped into the level extent and m must be a valid level.
+//
+// texlint:hotpath
 func (ti *Tiling) Addr(u, v, m int) Virtual {
 	l2u := u >> ti.l2Shift
 	l2v := v >> ti.l2Shift
