@@ -28,7 +28,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(experiments.Bench, io.Discard)
+		ctx := experiments.NewContext(experiments.Bench(), io.Discard)
 		if err := e.Run(ctx); err != nil {
 			b.Fatal(err)
 		}

@@ -38,11 +38,11 @@ func main() {
 	var scale experiments.Scale
 	switch *scaleName {
 	case "bench":
-		scale = experiments.Bench
+		scale = experiments.Bench()
 	case "reduced":
-		scale = experiments.Reduced
+		scale = experiments.Reduced()
 	case "full":
-		scale = experiments.Full
+		scale = experiments.Full()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)

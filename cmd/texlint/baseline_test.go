@@ -1,0 +1,79 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"texcache/internal/lint"
+)
+
+func diag(file string, line int, analyzer, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	recorded := []lint.Diagnostic{
+		diag("a.go", 10, "hotalloc", "call to append allocates"),
+		diag("a.go", 20, "hotalloc", "call to append allocates"),
+		diag("b.go", 3, "purity", "reads mutable package-level state"),
+	}
+	if err := saveBaseline(path, recorded); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	current := []lint.Diagnostic{
+		// The recorded findings moved to new lines: still baselined.
+		diag("a.go", 14, "hotalloc", "call to append allocates"),
+		diag("a.go", 25, "hotalloc", "call to append allocates"),
+		diag("b.go", 5, "purity", "reads mutable package-level state"),
+		// A third identical finding exceeds the recorded multiplicity.
+		diag("a.go", 30, "hotalloc", "call to append allocates"),
+		// A new message is a regression.
+		diag("c.go", 1, "globalmut", "write to package-level x"),
+	}
+	got := applyBaseline(current, base)
+	if len(got) != 2 {
+		t.Fatalf("applyBaseline kept %d findings, want 2: %v", len(got), got)
+	}
+	if got[0].Pos.Filename != "a.go" || got[0].Pos.Line != 30 {
+		t.Errorf("first survivor = %v, want the over-multiplicity a.go:30", got[0])
+	}
+	if got[1].Pos.Filename != "c.go" || got[1].Analyzer != "globalmut" {
+		t.Errorf("second survivor = %v, want the new c.go finding", got[1])
+	}
+}
+
+func TestBaselineEmptyRepositoryStaysClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := saveBaseline(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := applyBaseline(nil, base); len(got) != 0 {
+		t.Fatalf("empty baseline over empty findings kept %v", got)
+	}
+}
+
+func TestLoadBaselineRejectsMalformedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("malformed baseline loaded without error")
+	}
+}

@@ -5,6 +5,8 @@
 //	go run ./cmd/texlint ./...
 //	go run ./cmd/texlint -json ./internal/cache
 //	go run ./cmd/texlint -list
+//	go run ./cmd/texlint -write-baseline lint.baseline ./...
+//	go run ./cmd/texlint -baseline lint.baseline ./...
 //
 // texlint loads every non-test package of the enclosing module, runs all
 // analyzers (or the comma-separated -analyzers subset) and prints one
@@ -17,6 +19,13 @@
 // line or the line above:
 //
 //	//texlint:ignore <analyzer> [reason]
+//
+// For adopting a new analyzer over an existing codebase, -write-baseline
+// records the current findings as a JSON file and -baseline suppresses
+// exactly those recorded findings on later runs, so only regressions
+// fail. Baseline entries match on file, analyzer and message — not line —
+// so unrelated edits do not dislodge them; run both from the module root
+// so the recorded file paths agree.
 package main
 
 import (
@@ -39,6 +48,8 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array")
 		list      = flag.Bool("list", false, "list analyzers and exit")
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		baseline  = flag.String("baseline", "", "suppress findings recorded in this JSON baseline file")
+		writeBase = flag.String("write-baseline", "", "record current findings to this JSON baseline file and exit clean")
 	)
 	flag.Parse()
 
@@ -87,14 +98,24 @@ func run() int {
 		}
 	}
 
-	if *jsonOut {
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
+	if *writeBase != "" {
+		if err := saveBaseline(*writeBase, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "texlint:", err)
+			return 2
 		}
+		fmt.Fprintf(os.Stderr, "texlint: recorded %d finding(s) in %s\n", len(diags), *writeBase)
+		return 0
+	}
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texlint:", err)
+			return 2
+		}
+		diags = applyBaseline(diags, base)
+	}
+
+	if *jsonOut {
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
@@ -117,6 +138,75 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the serialised diagnostic shared by -json and the baseline
+// files.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineKey identifies a finding across runs. Line and column are
+// deliberately excluded: edits elsewhere in a file move findings without
+// changing what they say, and a moved finding is not a new finding.
+type baselineKey struct {
+	File, Analyzer, Message string
+}
+
+// saveBaseline records the findings as a JSON baseline file.
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		_ = f.Close() // the encode error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// loadBaseline reads a baseline file into per-key multiplicities, so a
+// file with two identical findings baselines exactly two.
+func loadBaseline(path string) (map[baselineKey]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []jsonDiag
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := make(map[baselineKey]int, len(entries))
+	for _, e := range entries {
+		base[baselineKey{e.File, e.Analyzer, e.Message}]++
+	}
+	return base, nil
+}
+
+// applyBaseline drops findings recorded in the baseline, respecting
+// multiplicity, and returns the remainder (the regressions).
+func applyBaseline(diags []lint.Diagnostic, base map[baselineKey]int) []lint.Diagnostic {
+	keep := diags[:0]
+	for _, d := range diags {
+		k := baselineKey{d.Pos.Filename, d.Analyzer, d.Message}
+		if base[k] > 0 {
+			base[k]--
+			continue
+		}
+		keep = append(keep, d)
+	}
+	return keep
 }
 
 // filterPackages restricts the loaded module to the packages named by the

@@ -26,9 +26,12 @@ type Counters struct {
 // Sub subtracts an earlier snapshot, yielding activity in between.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
-		L1:           c.L1.Sub(o.L1),
-		L2:           c.L2.Sub(o.L2),
-		TLB:          TLBStats{c.TLB.Lookups - o.TLB.Lookups, c.TLB.Hits - o.TLB.Hits},
+		L1: c.L1.Sub(o.L1),
+		L2: c.L2.Sub(o.L2),
+		TLB: TLBStats{
+			Lookups: c.TLB.Lookups - o.TLB.Lookups,
+			Hits:    c.TLB.Hits - o.TLB.Hits,
+		},
 		HostBytes:    c.HostBytes - o.HostBytes,
 		L2ReadBytes:  c.L2ReadBytes - o.L2ReadBytes,
 		L2WriteBytes: c.L2WriteBytes - o.L2WriteBytes,
@@ -47,6 +50,10 @@ type Hierarchy struct {
 	hostBytes    int64
 	l2ReadBytes  int64
 	l2WriteBytes int64
+
+	// san is the texsan invariant sanitizer; empty unless built with
+	// -tags texsan (see sanitize_on.go).
+	san sanState
 }
 
 // Access runs one texel reference through the hierarchy, following the
@@ -54,9 +61,20 @@ type Hierarchy struct {
 //
 // texlint:hotpath
 func (h *Hierarchy) Access(ref Ref) {
-	if h.L1.Access(ref.L1) {
-		return // L1 hit: texel retrieved on chip.
+	hit := h.L1.Access(ref.L1)
+	if !hit {
+		h.accessMiss(ref)
 	}
+	if sanitizing {
+		h.sanAccess(ref, hit)
+	}
+}
+
+// accessMiss services an L1 miss: a host download under the pull
+// architecture, otherwise an L2 access with Figure 7's byte accounting.
+//
+// texlint:hotpath
+func (h *Hierarchy) accessMiss(ref Ref) {
 	if h.L2 == nil {
 		// Pull architecture: download the L1 tile from system memory.
 		h.hostBytes += L1LineBytes

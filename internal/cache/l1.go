@@ -54,14 +54,16 @@ func SetHash(tileU, tileV int32, level uint8, tid uint32) uint32 {
 
 // interleave8 interleaves the low 8 bits of a and b (Morton order).
 func interleave8(a, b uint32) uint32 {
-	spread := func(v uint32) uint32 {
-		v &= 0xFF
-		v = (v | v<<4) & 0x0F0F
-		v = (v | v<<2) & 0x3333
-		v = (v | v<<1) & 0x5555
-		return v
-	}
-	return spread(a) | spread(b)<<1
+	return spread8(a) | spread8(b)<<1
+}
+
+// spread8 spaces the low 8 bits of v into the even bit positions.
+func spread8(v uint32) uint32 {
+	v &= 0xFF
+	v = (v | v<<4) & 0x0F0F
+	v = (v | v<<2) & 0x3333
+	v = (v | v<<1) & 0x5555
+	return v
 }
 
 // L1Stats counts L1 cache activity.

@@ -113,14 +113,21 @@ type pageEntry struct {
 // the driver's tstart allocation) to physical blocks in L2 cache memory,
 // with a Block Replacement List driving victim selection.
 type L2Cache struct {
-	cfg       L2Config
-	table     []pageEntry
-	owner     []int32 // BRL t_index: page-table index + 1, or 0 if free
-	free      []int32 // unallocated physical blocks (never-used or freed)
-	policy    Policy
+	cfg    L2Config
+	table  []pageEntry
+	owner  []int32 // BRL t_index: page-table index + 1, or 0 if free
+	free   []int32 // unallocated physical blocks (never-used or freed)
+	policy Policy
+	// clock is non-nil when the configured policy is the paper's clock
+	// algorithm; Access dispatches through it statically so the per-miss
+	// fast path pays no interface-method indirection.
+	clock     *clockPolicy
 	numBlocks int
 	fullMask  uint64 // all sub-block bits set
 	stats     L2Stats
+	// san is the texsan invariant sanitizer; empty unless built with
+	// -tags texsan (see sanitize_on.go).
+	san l2San
 }
 
 // NewL2 constructs an L2 cache. pageTableEntries must cover every <tid, L2>
@@ -155,6 +162,7 @@ func NewL2(cfg L2Config, pageTableEntries uint32) (*L2Cache, error) {
 		numBlocks: n,
 		fullMask:  fullMask,
 	}
+	c.clock, _ = c.policy.(*clockPolicy)
 	// Stack the free list so blocks allocate in index order, matching the
 	// clock hand's initial march over the never-used BRL.
 	for i := range c.free {
@@ -189,7 +197,7 @@ func (c *L2Cache) Access(ptIndex uint32, sub uint8) L2Result {
 	bit := uint64(1) << sub
 	if e.block != 0 {
 		phys := int(e.block - 1)
-		c.policy.Touch(phys)
+		c.touch(phys)
 		if e.sector&bit != 0 {
 			c.stats.FullHits++
 			return L2FullHit
@@ -211,10 +219,13 @@ func (c *L2Cache) Access(ptIndex uint32, sub uint8) L2Result {
 		c.free = c.free[:n-1]
 		searched = 1
 	} else {
-		victim, searched = c.policy.Victim()
+		victim, searched = c.victim()
 		if prev := c.owner[victim]; prev != 0 {
 			c.table[prev-1] = pageEntry{}
 			c.stats.Evictions++
+			if sanitizing {
+				c.san.noteEvict(uint32(prev - 1))
+			}
 		}
 	}
 	c.stats.SearchSteps += int64(searched)
@@ -228,9 +239,30 @@ func (c *L2Cache) Access(ptIndex uint32, sub uint8) L2Result {
 	} else {
 		e.sector = bit
 	}
-	c.policy.Touch(victim)
+	c.touch(victim)
 	c.stats.FullMisses++
 	return L2FullMiss
+}
+
+// touch records an access on the replacement policy. The paper's clock
+// policy is dispatched statically; the ablation policies (true LRU,
+// random) fall back to the interface.
+func (c *L2Cache) touch(phys int) {
+	if c.clock != nil {
+		c.clock.Touch(phys)
+		return
+	}
+	//texlint:ignore hotalloc ablation-only policies accept dynamic dispatch off the paper's configuration
+	c.policy.Touch(phys)
+}
+
+// victim selects a replacement victim, statically for the clock policy.
+func (c *L2Cache) victim() (block, searched int) {
+	if c.clock != nil {
+		return c.clock.Victim()
+	}
+	//texlint:ignore hotalloc ablation-only policies accept dynamic dispatch off the paper's configuration
+	return c.policy.Victim()
 }
 
 // Contains reports whether the sub-block is resident, without side effects.
@@ -263,6 +295,9 @@ func (c *L2Cache) DeleteTexture(tstart, tlen uint32) {
 			c.free = append(c.free, int32(phys))
 		}
 		*e = pageEntry{}
+		if sanitizing {
+			c.san.noteEvict(i)
+		}
 	}
 }
 

@@ -104,9 +104,9 @@ func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Com
 		return nil, err
 	}
 	set := w.Scene.Textures
-	set.MustPrepare(texture.CanonicalL1)
+	set.MustPrepare(texture.CanonicalL1())
 
-	sink := &multiSink{canon: set.Tilings(texture.CanonicalL1)}
+	sink := &multiSink{canon: set.Tilings(texture.CanonicalL1())}
 	layoutIndex := map[texture.TileLayout]int{}
 
 	cmp := &Comparison{Workload: w.Name, Render: render}

@@ -133,7 +133,7 @@ func NewSimulator(w *workload.Workload, cfg Config) (*Simulator, error) {
 // buildHierarchy constructs the cache hierarchy and address sink for the
 // texture set under cfg.
 func buildHierarchy(set *texture.Set, cfg Config) (*cache.Hierarchy, *addrSink, error) {
-	set.MustPrepare(texture.CanonicalL1)
+	set.MustPrepare(texture.CanonicalL1())
 
 	ways := cfg.L1Ways
 	if ways == 0 {
@@ -146,7 +146,7 @@ func buildHierarchy(set *texture.Set, cfg Config) (*cache.Hierarchy, *addrSink, 
 	hier := &cache.Hierarchy{L1: l1}
 
 	sink := &addrSink{
-		canon: set.Tilings(texture.CanonicalL1),
+		canon: set.Tilings(texture.CanonicalL1()),
 		h:     hier,
 	}
 	if cfg.L2 != nil {

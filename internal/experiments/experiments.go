@@ -27,14 +27,22 @@ type Scale struct {
 	VillageFrames, CityFrames, MallFrames int
 }
 
-// Predefined scales. Cache behaviour at reduced scales preserves the
-// paper's orderings and ratios; Full reproduces the paper's parameters.
-var (
-	Bench   = Scale{"bench", 256, 192, 24, 30, 24}
-	Reduced = Scale{"reduced", 512, 384, 80, 100, 80}
-	Full    = Scale{"full", 1024, 768,
+// Predefined scales, exposed as accessors returning copies so no caller
+// can perturb them mid-run. Cache behaviour at reduced scales preserves
+// the paper's orderings and ratios; Full reproduces the paper's parameters.
+
+// Bench is the smallest scale, sized for Go benchmarks and smoke tests.
+func Bench() Scale { return Scale{"bench", 256, 192, 24, 30, 24} }
+
+// Reduced is the scale used for quick table regeneration.
+func Reduced() Scale { return Scale{"reduced", 512, 384, 80, 100, 80} }
+
+// Full reproduces the paper's parameters: 1024x768 over the complete
+// camera paths.
+func Full() Scale {
+	return Scale{"full", 1024, 768,
 		workload.VillageFrames, workload.CityFrames, workload.MallFrames}
-)
+}
 
 // Context carries the scale, output writer and memoized simulation runs.
 type Context struct {

@@ -16,7 +16,7 @@ func ctx(t *testing.T) *Context {
 	t.Helper()
 	skipUnderRace(t)
 	if sharedCtx == nil {
-		sharedCtx = NewContext(Bench, &bytes.Buffer{})
+		sharedCtx = NewContext(Bench(), &bytes.Buffer{})
 	}
 	sharedCtx.Out = &bytes.Buffer{}
 	return sharedCtx

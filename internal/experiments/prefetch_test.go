@@ -12,7 +12,7 @@ func TestPrefetchMatchesSequential(t *testing.T) {
 	// A prefetched context must produce results identical to sequential
 	// computation (determinism across goroutines).
 	skipUnderRace(t)
-	par := NewContext(Bench, io.Discard)
+	par := NewContext(Bench(), io.Discard)
 	if err := par.Prefetch(4); err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestPrefetchMatchesSequential(t *testing.T) {
 
 func TestPrefetchIdempotent(t *testing.T) {
 	skipUnderRace(t)
-	c := NewContext(Bench, &bytes.Buffer{})
+	c := NewContext(Bench(), &bytes.Buffer{})
 	if err := c.Prefetch(2); err != nil {
 		t.Fatal(err)
 	}

@@ -10,15 +10,15 @@ import (
 func (c *Context) Fig3() error {
 	c.header("Figure 3: expected inter-frame working set W = R*d*4/utilization")
 	c.printf("%-12s", "util \\ R,d")
-	for _, res := range model.Fig3Resolutions {
-		for _, d := range model.Fig3Depths {
+	for _, res := range model.Fig3Resolutions() {
+		for _, d := range model.Fig3Depths() {
 			c.printf(" %6dx%d d%.0f", res[0], res[1], d)
 		}
 	}
 	c.printf("\n")
 	pts := model.Fig3()
-	perCurve := len(model.Fig3Resolutions) * len(model.Fig3Depths)
-	for i, util := range model.Fig3Utilizations {
+	perCurve := len(model.Fig3Resolutions()) * len(model.Fig3Depths())
+	for i, util := range model.Fig3Utilizations() {
 		c.printf("%-12.2f", util)
 		for j := 0; j < perCurve; j++ {
 			c.printf(" %12.1fMB", mbf(pts[i*perCurve+j].W))
@@ -162,7 +162,7 @@ func (c *Context) Table4() error {
 	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
 	rows := model.Table4([]int{2 << 20, 4 << 20, 8 << 20}, layout)
 	c.printf("%-40s %10s %10s %10s\n", "L2 cache size", "2 MB", "4 MB", "8 MB")
-	for _, host := range model.Table4HostCapacities {
+	for _, host := range model.Table4HostCapacities() {
 		c.printf("page table for %4d MB host texture %5s", host>>20, "")
 		for range rows {
 			c.printf(" %8.0fKB", kb(model.PageTableBytes(host, layout)))

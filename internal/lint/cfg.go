@@ -1,0 +1,470 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the control-flow graph underlying the texvet
+// dataflow analyzers (sharedstate, and the reaching-definitions engine in
+// dataflow.go). The graph is statement-level: each basic block holds the
+// statements and governing expressions that execute together, and edges
+// follow Go's structured control flow — if/for/range/switch/select,
+// labeled break and continue, goto and fallthrough. Function literals are
+// opaque nodes: their bodies belong to their own CFGs, built on demand,
+// because a literal's body executes at call time, not where it appears.
+//
+// BuildCFG is intentionally total: it must return a usable graph for any
+// syntactically valid function body and never panic (FuzzBuildCFG enforces
+// this), degrading to conservative edges when a construct is exotic.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every basic block in creation order; Blocks[0] is the
+	// entry block.
+	Blocks []*Block
+}
+
+// Block is one basic block: a run of nodes that execute consecutively.
+type Block struct {
+	// Index is the position in CFG.Blocks.
+	Index int
+	// Nodes holds statements and governing expressions in execution
+	// order. Expressions appear for conditions and range/switch operands.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Entry returns the entry block (nil for an empty graph).
+func (g *CFG) Entry() *Block {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	return g.Blocks[0]
+}
+
+// BlockOf returns the block containing the statement or expression node
+// registered during construction, or nil.
+func (g *CFG) BlockOf(n ast.Node) *Block {
+	for _, b := range g.Blocks {
+		for _, m := range b.Nodes {
+			if m == n {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// BuildCFG constructs the CFG of a function body. body may be nil (a
+// declaration without a body), yielding an empty graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*labelBlocks),
+	}
+	entry := b.newBlock()
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.resolveGotos()
+	return b.cfg
+}
+
+// labelBlocks records the jump targets of one label.
+type labelBlocks struct {
+	// start is the block beginning the labeled statement (goto/continue
+	// landing area; continue actually targets post, set for loops).
+	start *Block
+	// brk is the block following the labeled statement.
+	brk *Block
+	// post is the continue target when the labeled statement is a loop.
+	post *Block
+}
+
+// loopFrame tracks the targets of unlabeled break/continue.
+type loopFrame struct {
+	brk  *Block
+	post *Block // nil for switch/select frames (continue passes through)
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	loops  []loopFrame
+	labels map[string]*labelBlocks
+	// pendingGotos are forward gotos awaiting their label.
+	pendingGotos []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge links from -> to, tolerating nils.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// emit appends a node to the current block.
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n == nil || b.cur == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startBlock begins a new block reachable from the current one.
+func (b *cfgBuilder) startBlock() *Block {
+	nb := b.newBlock()
+	b.edge(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+// terminate ends the current flow: subsequent statements are unreachable
+// until an edge (label, loop head) re-enters them.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock() // fresh block with no predecessors
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label names the statement when it was the
+// body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case nil:
+		return
+
+	case *ast.LabeledStmt:
+		lb := &labelBlocks{}
+		b.labels[s.Label.Name] = lb
+		start := b.startBlock()
+		lb.start = start
+		b.stmt(s.Stmt, s.Label.Name)
+		// brk/post were filled by the labeled loop/switch if any; the
+		// break target defaults to whatever follows.
+		if lb.brk == nil {
+			lb.brk = b.cur
+		}
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		thenEnd := b.cur
+
+		var elseEnd *Block
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		if s.Else != nil {
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		join := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		b.noteLoop(label, join, post)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.loops = append(b.loops, loopFrame{brk: join, post: post})
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		b.emit(s.X)
+		head := b.startBlock()
+		if s.Key != nil || s.Value != nil {
+			// The per-iteration assignment happens at the head.
+			head.Nodes = append(head.Nodes, s)
+		}
+		join := b.newBlock()
+		b.edge(head, join)
+		b.noteLoop(label, join, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.loops = append(b.loops, loopFrame{brk: join, post: head})
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchClauses(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchClauses(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body, label, func(c ast.Stmt) ast.Stmt {
+			if cc, ok := c.(*ast.CommClause); ok {
+				return cc.Comm
+			}
+			return nil
+		})
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.emit(s)
+		b.branch(s)
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.emit(s)
+
+	default:
+		// Unknown statement kinds flow straight through.
+		b.emit(s)
+	}
+}
+
+// noteLoop records break/continue targets on the statement's label.
+func (b *cfgBuilder) noteLoop(label string, brk, post *Block) {
+	if label == "" {
+		return
+	}
+	if lb := b.labels[label]; lb != nil {
+		lb.brk = brk
+		lb.post = post
+	}
+}
+
+// switchClauses lowers the clause list of a switch, type switch or select.
+// comm extracts the guarding communication of a select clause, if any.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, label string, comm func(ast.Stmt) ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	b.noteLoop(label, join, nil)
+	hasDefault := false
+	var prevBody *Block // fallthrough source
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		var guards []ast.Node
+		isDefault := false
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			stmts = cs.Body
+			isDefault = cs.List == nil
+			for _, e := range cs.List {
+				guards = append(guards, e)
+			}
+		case *ast.CommClause:
+			stmts = cs.Body
+			isDefault = cs.Comm == nil
+			if comm != nil {
+				if g := comm(cs); g != nil {
+					guards = append(guards, g)
+				}
+			}
+		default:
+			continue
+		}
+		if isDefault {
+			hasDefault = true
+		}
+		clause := b.newBlock()
+		b.edge(head, clause)
+		if prevBody != nil {
+			// A trailing fallthrough in the previous clause jumps here.
+			b.edge(prevBody, clause)
+		}
+		b.cur = clause
+		for _, g := range guards {
+			b.emit(g)
+		}
+		b.loops = append(b.loops, loopFrame{brk: join})
+		b.stmtList(stmts)
+		b.loops = b.loops[:len(b.loops)-1]
+		prevBody = b.cur
+		b.edge(b.cur, join)
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+// branch lowers break/continue/goto/fallthrough.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if name != "" {
+			if lb := b.labels[name]; lb != nil && lb.brk != nil {
+				b.edge(b.cur, lb.brk)
+			}
+		} else if n := len(b.loops); n > 0 {
+			b.edge(b.cur, b.loops[n-1].brk)
+		}
+		b.terminate()
+	case token.CONTINUE:
+		if name != "" {
+			if lb := b.labels[name]; lb != nil && lb.post != nil {
+				b.edge(b.cur, lb.post)
+			}
+		} else {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].post != nil {
+					b.edge(b.cur, b.loops[i].post)
+					break
+				}
+			}
+		}
+		b.terminate()
+	case token.GOTO:
+		if name != "" {
+			if lb := b.labels[name]; lb != nil && lb.start != nil {
+				b.edge(b.cur, lb.start)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{b.cur, name})
+			}
+		}
+		b.terminate()
+	case token.FALLTHROUGH:
+		// switchClauses links the previous clause end to the next clause;
+		// nothing to do here.
+	}
+}
+
+// resolveGotos patches forward gotos whose labels appeared later.
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.pendingGotos {
+		if lb := b.labels[g.label]; lb != nil && lb.start != nil {
+			b.edge(g.from, lb.start)
+		}
+	}
+	b.pendingGotos = nil
+}
+
+// ReachableFrom walks the CFG forward starting immediately after node
+// `from` in block `start`, returning every node that may execute
+// afterwards. Traversal of a block stops (and its successors are not
+// followed from that point) at the first node for which barrier returns
+// true; barrier may be nil. The `from` node itself is not included.
+func ReachableFrom(g *CFG, from ast.Node, barrier func(ast.Node) bool) []ast.Node {
+	start := g.BlockOf(from)
+	if start == nil {
+		return nil
+	}
+	var out []ast.Node
+	seen := make(map[*Block]bool)
+	// scan walks one block from node index i, collecting nodes and
+	// queueing successors unless a barrier stops the flow.
+	var scan func(b *Block, i int)
+	scan = func(b *Block, i int) {
+		for ; i < len(b.Nodes); i++ {
+			n := b.Nodes[i]
+			if barrier != nil && barrier(n) {
+				return
+			}
+			out = append(out, n)
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				scan(s, 0)
+			}
+		}
+	}
+	// Locate `from` within its block and resume after it.
+	idx := 0
+	for i, n := range start.Nodes {
+		if n == from {
+			idx = i + 1
+			break
+		}
+	}
+	seen[start] = true
+	scan(start, idx)
+	// The start block's successors were handled by scan; blocks reachable
+	// through loop back-edges that re-enter `start` must re-scan its
+	// prefix (nodes before `from` in the same loop body). Conservatively
+	// include them when start has a predecessor among reached blocks.
+	for _, b := range g.Blocks {
+		if !seen[b] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == start {
+				scan(start, 0)
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body and returns it with its file set.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestBuildCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"straightline", `x := 1; y := x + 1; _ = y`},
+		{"if-else", `if a() { b() } else { c() }; d()`},
+		{"for-break-continue", `for i := 0; i < 9; i++ { if i == 3 { continue }; if i == 7 { break }; use(i) }`},
+		{"range", `for k, v := range m { use(k); use(v) }`},
+		{"switch-fallthrough", `switch x { case 1: a(); fallthrough; case 2: b(); default: c() }`},
+		{"type-switch", `switch v := x.(type) { case int: use(v); case string: use(v) }`},
+		{"select", `select { case v := <-ch: use(v); case ch2 <- 1: default: }`},
+		{"labeled-loops", `outer: for i := 0; i < 3; i++ { for j := 0; j < 3; j++ { if j == i { continue outer }; if j > i { break outer } } }`},
+		{"goto-forward", `if x > 0 { goto done }; work(); done: finish()`},
+		{"goto-backward", `again: if retry() { goto again }; finish()`},
+		{"nested-defer-go", `defer cleanup(); go worker(); for { if stop() { return } }`},
+		{"empty", ``},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := BuildCFG(parseBody(t, c.body))
+			if g.Entry() == nil {
+				t.Fatal("no entry block")
+			}
+			// Every successor must be a block of the same graph.
+			index := make(map[*Block]bool)
+			for _, b := range g.Blocks {
+				index[b] = true
+			}
+			for _, b := range g.Blocks {
+				for _, s := range b.Succs {
+					if !index[s] {
+						t.Fatalf("block %d has a successor outside the graph", b.Index)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReachableFromBarrier checks that a barrier node cuts the forward
+// walk: statements beyond the barrier are not reported reachable.
+func TestReachableFromBarrier(t *testing.T) {
+	body := parseBody(t, `
+	before()
+	start()
+	middle()
+	barrier()
+	after()
+`)
+	g := BuildCFG(body)
+	start := body.List[1]
+	barrier := body.List[3]
+	reach := ReachableFrom(g, start, func(n ast.Node) bool { return n == barrier })
+	has := func(n ast.Node) bool {
+		for _, m := range reach {
+			if m == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(body.List[2]) {
+		t.Error("middle() should be reachable from start()")
+	}
+	if has(body.List[0]) {
+		t.Error("before() precedes start() with no loop: unreachable")
+	}
+	if has(barrier) || has(body.List[4]) {
+		t.Error("barrier() and after() must be cut off")
+	}
+}
+
+// TestReachableFromLoop checks that a loop back-edge makes statements
+// textually before the start node reachable again.
+func TestReachableFromLoop(t *testing.T) {
+	body := parseBody(t, `
+	for i := 0; i < 4; i++ {
+		first()
+		second()
+	}
+`)
+	g := BuildCFG(body)
+	loop := body.List[0].(*ast.ForStmt)
+	first := loop.Body.List[0]
+	second := loop.Body.List[1]
+	reach := ReachableFrom(g, second, nil)
+	found := false
+	for _, n := range reach {
+		if n == first {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("first() should be reachable from second() via the loop back-edge")
+	}
+	_ = second
+}
+
+// FuzzBuildCFG asserts totality: any body Go's parser accepts must yield
+// a CFG without panicking, and ReachableFrom must likewise be total.
+func FuzzBuildCFG(f *testing.F) {
+	seeds := []string{
+		`x := 1`,
+		`for { break }`,
+		`for i := range xs { if i > 2 { continue }; use(i) }`,
+		`switch { case a: fallthrough; default: b() }`,
+		`select { case <-ch: }`,
+		`L: for { for { continue L } }`,
+		`goto X; X: return`,
+		`if a { goto B }; B: ;`,
+		`defer f(); go g(); return`,
+		"ch <- 1\n\t<-ch\n\tclose(ch)",
+		`{ { { return } } }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}\n"
+		file, err := parser.ParseFile(token.NewFileSet(), "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			g := BuildCFG(fn.Body)
+			if g == nil || g.Entry() == nil {
+				t.Fatal("BuildCFG returned an unusable graph")
+			}
+			for _, b := range g.Blocks {
+				for _, n := range b.Nodes {
+					ReachableFrom(g, n, nil)
+				}
+			}
+		}
+	})
+}

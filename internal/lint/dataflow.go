@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the texvet dataflow layer on top of the CFG:
+// a classic gen/kill reaching-definitions solver plus the "alias-lite"
+// helpers the concurrency and purity analyzers share. Alias-lite tracks
+// only one level of indirection — a local initialized from &V, &V.f,
+// &V[i], or from a reference-typed read of V, may alias V — which is
+// enough to see through the `p := &shared[i]; p.f = x` idiom without a
+// full points-to analysis.
+
+// defSite is one definition of a variable: the statement node performing
+// it and the defining expression (nil when unknown, e.g. *p = x).
+type defSite struct {
+	v    *types.Var
+	node ast.Node
+	rhs  ast.Expr
+}
+
+// DefFlow holds the reaching-definitions solution for one function body.
+type DefFlow struct {
+	cfg  *CFG
+	info *types.Info
+	defs []defSite
+	// in[b] is the set of def indices reaching the entry of block b.
+	in map[*Block]map[int]bool
+}
+
+// ReachingDefs solves reaching definitions over the CFG by worklist
+// iteration. info resolves identifiers to their objects.
+func ReachingDefs(cfg *CFG, info *types.Info) *DefFlow {
+	df := &DefFlow{cfg: cfg, info: info, in: make(map[*Block]map[int]bool)}
+
+	// Collect definition sites per block, in execution order.
+	blockDefs := make(map[*Block][]int)
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			for _, d := range df.defsIn(n) {
+				blockDefs[b] = append(blockDefs[b], len(df.defs))
+				df.defs = append(df.defs, d)
+			}
+		}
+	}
+
+	// gen/kill per block: later defs of a variable kill earlier ones.
+	gen := make(map[*Block]map[int]bool)
+	kill := make(map[*Block]map[*types.Var]bool)
+	for _, b := range cfg.Blocks {
+		g := make(map[int]bool)
+		k := make(map[*types.Var]bool)
+		for _, id := range blockDefs[b] {
+			v := df.defs[id].v
+			for prev := range g {
+				if df.defs[prev].v == v {
+					delete(g, prev)
+				}
+			}
+			g[id] = true
+			k[v] = true
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+
+	// Worklist iteration to fixpoint.
+	work := make([]*Block, len(cfg.Blocks))
+	copy(work, cfg.Blocks)
+	for _, b := range cfg.Blocks {
+		df.in[b] = make(map[int]bool)
+	}
+	out := func(b *Block) map[int]bool {
+		o := make(map[int]bool)
+		for id := range df.in[b] {
+			if !kill[b][df.defs[id].v] {
+				o[id] = true
+			}
+		}
+		for id := range gen[b] {
+			o[id] = true
+		}
+		return o
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		o := out(b)
+		for _, s := range b.Succs {
+			changed := false
+			for id := range o {
+				if !df.in[s][id] {
+					df.in[s][id] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+	return df
+}
+
+// defsIn extracts the definitions a single CFG node performs, excluding
+// anything inside nested function literals.
+func (df *DefFlow) defsIn(n ast.Node) []defSite {
+	var out []defSite
+	add := func(id *ast.Ident, node ast.Node, rhs ast.Expr) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := df.info.ObjectOf(id)
+		if v, ok := obj.(*types.Var); ok {
+			out = append(out, defSite{v: v, node: node, rhs: rhs})
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					var rhs ast.Expr
+					if len(m.Rhs) == len(m.Lhs) {
+						rhs = m.Rhs[i]
+					}
+					add(id, m, rhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+				add(id, m, nil)
+			}
+		case *ast.RangeStmt:
+			if id, ok := m.Key.(*ast.Ident); ok {
+				add(id, m, nil)
+			}
+			if id, ok := m.Value.(*ast.Ident); ok {
+				add(id, m, nil)
+			}
+			return false // body statements are separate CFG nodes
+		case *ast.ValueSpec:
+			for i, id := range m.Names {
+				var rhs ast.Expr
+				if i < len(m.Values) {
+					rhs = m.Values[i]
+				}
+				add(id, m, rhs)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ReachingAt returns the definitions of v that may reach node n (which
+// must be, or be contained in, a CFG node). A nil slice means no explicit
+// definition reaches — v is a parameter, receiver or captured variable.
+func (df *DefFlow) ReachingAt(n ast.Node, v *types.Var) []defSite {
+	b, idx := df.locate(n)
+	if b == nil {
+		return nil
+	}
+	live := make(map[int]bool)
+	for id := range df.in[b] {
+		live[id] = true
+	}
+	// Apply the block's defs up to (not including) the containing node.
+	for i := 0; i < idx; i++ {
+		for _, d := range df.defsIn(b.Nodes[i]) {
+			id := df.findDef(d)
+			if id < 0 {
+				continue
+			}
+			for prev := range live {
+				if df.defs[prev].v == d.v {
+					delete(live, prev)
+				}
+			}
+			live[id] = true
+		}
+	}
+	var out []defSite
+	for id := range df.defs {
+		if live[id] && df.defs[id].v == v {
+			out = append(out, df.defs[id])
+		}
+	}
+	return out
+}
+
+// locate finds the CFG node containing n and its block.
+func (df *DefFlow) locate(n ast.Node) (*Block, int) {
+	for _, b := range df.cfg.Blocks {
+		for i, m := range b.Nodes {
+			if m == n || contains(m, n) {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// findDef maps an extracted defSite back to its index.
+func (df *DefFlow) findDef(d defSite) int {
+	for i, e := range df.defs {
+		if e.v == d.v && e.node == d.node && e.rhs == d.rhs {
+			return i
+		}
+	}
+	return -1
+}
+
+// contains reports whether outer's source range encloses inner's.
+func contains(outer, inner ast.Node) bool {
+	if outer == nil || inner == nil {
+		return false
+	}
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// rootVar resolves the base variable of an lvalue or reference expression:
+// V, V.f, V[i], *V, (&V) and chains thereof all root at V. It returns nil
+// for literals, calls and globals-of-other-kinds.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			// Package-qualified identifiers (pkg.Var) resolve through the
+			// selection; otherwise descend into the operand.
+			if info.Selections[x] == nil {
+				v, _ := info.ObjectOf(x.Sel).(*types.Var)
+				return v
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isRefType reports whether values of t share underlying storage when
+// copied: pointers, slices, maps, channels and functions.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// hasRefComponent reports whether t is or contains reference storage —
+// a struct with a slice field copied by value still shares its backing
+// array. Arrays and structs are examined recursively.
+func hasRefComponent(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+			*types.Signature, *types.Interface:
+			return true
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// mayAlias reports whether expression e (typically an initializer) can
+// yield a reference into variable v's storage: &v..., v itself when
+// reference-typed, a slice of v, etc.
+func mayAlias(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && rootVar(info, n.X) == v {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj, ok := info.ObjectOf(n).(*types.Var); ok && obj == v && isRefType(v.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSyncType reports whether t is a synchronization primitive whose
+// methods establish happens-before edges: anything from package sync or
+// golang.org/x/sync, or a channel.
+func isSyncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// isBarrierNode reports whether a CFG node synchronizes with other
+// goroutines: a channel send or receive, close, or a call to a sync
+// method that orders memory (Wait, Lock, RLock, Do, Done).
+func isBarrierNode(info *types.Info, n ast.Node) bool {
+	barrier := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if barrier {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			barrier = true
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				barrier = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, m, "close") {
+				barrier = true
+				return false
+			}
+			sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait", "Lock", "RLock", "Do", "Done":
+				if recv := info.TypeOf(sel.X); isSyncType(recv) {
+					barrier = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return barrier
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Globalmut is the texvet global-state analyzer. Run-to-run determinism
+// requires that package-level state is immutable after initialization:
+// a global written mid-run makes the second simulation in a process see
+// different inputs than the first, which is exactly the class of bug that
+// silently skews an A/B cache comparison while both runs "pass".
+//
+// Two rules:
+//
+//  1. Any write to package-level state outside a func init, the var's own
+//     initializer, or a sync.Once.Do body is reported — whether the write
+//     targets the variable itself or reaches it through an element, field
+//     or dereference.
+//  2. An exported package-level var of slice, map, array or struct type
+//     is reported even when the declaring package never writes it:
+//     importers can mutate it in place, so the paper's tables would
+//     depend on client call order. The fix is a const, an accessor
+//     returning a copy, or unexporting.
+var Globalmut = &Analyzer{
+	Name: "globalmut",
+	Doc:  "forbid writes to package-level state outside init and exported mutable globals",
+	Run:  runGlobalmut,
+}
+
+func runGlobalmut(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkGlobalDecl(pass, d)
+			case *ast.FuncDecl:
+				if d.Body == nil || isInitFunc(d) {
+					continue
+				}
+				checkGlobalWrites(pass, info, d.Body)
+			}
+		}
+	}
+}
+
+// isInitFunc reports whether the declaration is a package init function.
+func isInitFunc(d *ast.FuncDecl) bool {
+	return d.Recv == nil && d.Name.Name == "init"
+}
+
+// checkGlobalDecl applies rule 2 to a package-level var declaration.
+func checkGlobalDecl(pass *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, id := range vs.Names {
+			v, ok := pass.Pkg.Info.Defs[id].(*types.Var)
+			if !ok || !isPackageLevel(v) || !v.Exported() {
+				continue
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Struct, *types.Array:
+				pass.Reportf(id.Pos(),
+					"exported package-level var %s is mutable shared state; use a const, an accessor returning a copy, or unexport it", v.Name())
+			}
+		}
+	}
+}
+
+// checkGlobalWrites applies rule 1 inside one function body.
+func checkGlobalWrites(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// onceBodies collects function literals passed to sync.Once.Do; a
+	// write inside one is the guarded lazy-init idiom and is exempt.
+	onceBodies := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" {
+			return true
+		}
+		if recv := info.TypeOf(sel.X); !isSyncType(recv) {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			onceBodies[lit] = true
+		}
+		return true
+	})
+
+	inOnce := func(n ast.Node) bool {
+		for lit := range onceBodies {
+			if contains(lit, n) {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(n ast.Node, target ast.Expr) {
+		v := rootVar(info, target)
+		if v == nil || !isPackageLevel(v) || inOnce(n) {
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"write to package-level %s outside init; package state must be immutable after initialization", v.Name())
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				report(n, lhs)
+			}
+		case *ast.IncDecStmt:
+			report(n, n.X)
+		}
+		return true
+	})
+}

@@ -33,13 +33,14 @@ func runHotpath(pass *Pass) {
 }
 
 // isHotpath reports whether the function's doc comment contains the
-// hotpath marker (with or without a space after the comment slashes).
+// hotpath marker (with or without a space after the comment slashes) or
+// its texvet alias texsim:hot.
 func isHotpath(fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.Contains(c.Text, HotpathMarker) {
+		if strings.Contains(c.Text, HotpathMarker) || strings.Contains(c.Text, HotMarker) {
 			return true
 		}
 	}

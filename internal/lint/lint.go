@@ -57,8 +57,66 @@ type Package struct {
 // Pass is the per-(analyzer, package) context handed to Analyzer.Run.
 type Pass struct {
 	Pkg      *Package
+	Facts    *Facts
 	analyzer *Analyzer
 	out      *[]Diagnostic
+}
+
+// Facts carries cross-package knowledge shared by the texvet dataflow
+// analyzers: which functions are annotated hot or pure, and which import
+// paths belong to the module under analysis. It is computed once per Run
+// over every loaded package, so an analyzer inspecting package P can ask
+// about functions defined in P's dependencies.
+type Facts struct {
+	// Hot maps functions whose doc comment carries the texlint:hotpath
+	// or texsim:hot marker.
+	Hot map[*types.Func]bool
+	// Pure maps functions whose doc comment carries the texsim:pure
+	// marker.
+	Pure map[*types.Func]bool
+	// ModulePkgs is the set of import paths analyzed together.
+	ModulePkgs map[string]bool
+}
+
+// HotMarker is the texvet alias of the hotpath marker; both name a
+// function whose call tree is the per-texel fast path.
+const HotMarker = "texsim:hot"
+
+// PureMarker names a function that must be verifiably side-effect-free.
+const PureMarker = "texsim:pure"
+
+// CollectFacts scans every package's function doc comments for hot and
+// pure markers.
+func CollectFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		Hot:        make(map[*types.Func]bool),
+		Pure:       make(map[*types.Func]bool),
+		ModulePkgs: make(map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		f.ModulePkgs[pkg.Path] = true
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					if strings.Contains(c.Text, HotpathMarker) || strings.Contains(c.Text, HotMarker) {
+						f.Hot[obj] = true
+					}
+					if strings.Contains(c.Text, PureMarker) {
+						f.Pure[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return f
 }
 
 // Reportf records a finding at pos.
@@ -83,7 +141,9 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order: the five
+// first-generation syntactic analyzers followed by the four texvet
+// dataflow analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -91,6 +151,10 @@ func All() []*Analyzer {
 		Counterwidth,
 		Panicstyle,
 		Errcheck,
+		Sharedstate,
+		Hotalloc,
+		Globalmut,
+		Purity,
 	}
 }
 
@@ -115,10 +179,11 @@ func ByName(names []string) ([]*Analyzer, error) {
 // //texlint:ignore directives, and returns the remainder sorted by file,
 // line and analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := CollectFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, analyzer: a, out: &diags}
+			pass := &Pass{Pkg: pkg, Facts: facts, analyzer: a, out: &diags}
 			a.Run(pass)
 		}
 		diags = suppress(diags, pkg)

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -202,6 +204,9 @@ func parseDir(root, modPath, dir string) (*parsedPkg, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintsSatisfied(f) {
+			continue
+		}
 		pp.files = append(pp.files, f)
 		for _, spec := range f.Imports {
 			p, err := strconv.Unquote(spec.Path.Value)
@@ -218,6 +223,43 @@ func parseDir(root, modPath, dir string) (*parsedPkg, error) {
 		return nil, nil
 	}
 	return pp, nil
+}
+
+// buildConstraintsSatisfied evaluates a file's //go:build line against the
+// loader's base configuration: the host GOOS/GOARCH with no custom tags.
+// Files gated behind tags like `texsan` (the runtime sanitizer build of
+// internal/cache) are excluded, exactly as `go build ./...` excludes them,
+// so tag-disjoint files never collide during type checking.
+func buildConstraintsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(baseTagSatisfied) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// baseTagSatisfied is the loader's default tag environment: host platform,
+// the gc toolchain and every released language version; all custom tags
+// (texsan, race, ...) are off.
+func baseTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // topoSort orders packages so every module-internal import precedes its

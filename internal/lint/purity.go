@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Purity is the texvet side-effect analyzer. Sampling and addressing
+// functions — texel wrapping, MIP clamping, tile-address translation,
+// filtering arithmetic — are the arrows between Figure 7's boxes: they
+// must map coordinates to addresses and colours without touching any
+// state, or replaying the same scene would stop producing the same
+// reference stream. Functions whose doc comment carries texsim:pure are
+// verified side-effect-free:
+//
+//   - no writes to package-level state;
+//   - no writes through pointers, slices or maps that may reach the
+//     caller (receiver, parameters, captured state) — writes to purely
+//     local value storage, and to locals proven fresh by alias-lite
+//     (initialized only from make/new/composite literals), are fine;
+//   - no channel operations and no goroutine launches;
+//   - calls only to other pure-marked functions, to unannotated
+//     functions of the same package that pass the same checks
+//     transitively, or to whitelisted side-effect-free standard library
+//     packages (math, math/bits, strings, strconv, unicode, sort.Search-
+//     style pure fmt formatting).
+var Purity = &Analyzer{
+	Name: "purity",
+	Doc:  "verify texsim:pure functions are side-effect-free",
+	Run:  runPurity,
+}
+
+// pureStdlibPkgs are standard-library packages whose exported functions
+// neither write global state nor mutate arguments.
+var pureStdlibPkgs = map[string]bool{
+	"math":         true,
+	"math/bits":    true,
+	"math/cmplx":   true,
+	"strings":      true,
+	"strconv":      true,
+	"unicode":      true,
+	"unicode/utf8": true,
+}
+
+// pureStdlibFuncs whitelists individual functions from otherwise impure
+// packages: pure formatters and constructors.
+var pureStdlibFuncs = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+	"errors.New":   true,
+}
+
+func runPurity(pass *Pass) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	pc := &purityChecker{pass: pass, decls: decls, verified: make(map[*types.Func]int)}
+	for obj, fn := range decls {
+		if pass.Facts.Pure[obj] {
+			pc.check(obj, fn, true)
+		}
+	}
+}
+
+// purityChecker memoizes transitive verification of unannotated
+// in-package callees so shared helpers are checked once.
+type purityChecker struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// verified: 0 unknown, 1 in progress or pure, 2 impure.
+	verified map[*types.Func]int
+}
+
+// check verifies one function. When report is true, violations are
+// reported as diagnostics; otherwise it only records purity (used for
+// transitive callees, whose violation is reported at the call site in the
+// annotated function). Returns true when the body passed every check.
+func (pc *purityChecker) check(obj *types.Func, fn *ast.FuncDecl, report bool) bool {
+	if state := pc.verified[obj]; state != 0 && !report {
+		return state == 1
+	}
+	pc.verified[obj] = 1 // assume pure across recursion
+	v := &purityVisitor{pc: pc, fn: fn, report: report, name: obj.Name()}
+	v.collectFresh()
+	ok := v.walk(fn.Body)
+	if !ok {
+		pc.verified[obj] = 2
+	}
+	return ok
+}
+
+// purityVisitor walks one function body applying the purity rules.
+type purityVisitor struct {
+	pc     *purityChecker
+	fn     *ast.FuncDecl
+	name   string
+	report bool
+	// fresh holds locals proven to own their storage: every definition
+	// is a make/new/composite-literal/fresh-append allocation.
+	fresh map[*types.Var]bool
+	ok    bool
+}
+
+func (v *purityVisitor) info() *types.Info { return v.pc.pass.Pkg.Info }
+
+func (v *purityVisitor) violate(pos token.Pos, format string, args ...any) {
+	v.ok = false
+	if v.report {
+		v.pc.pass.Reportf(pos, format, args...)
+	}
+}
+
+// collectFresh computes the alias-lite fresh set, iterating to a fixed
+// point so `a := make(...); b := a` marks b fresh too.
+func (v *purityVisitor) collectFresh() {
+	v.fresh = make(map[*types.Var]bool)
+	info := v.info()
+	// candidate defs: var -> list of RHS expressions (nil marks an
+	// unknown definition, e.g. range values or multi-assign from calls).
+	defs := make(map[*types.Var][]ast.Expr)
+	addDef := func(id *ast.Ident, rhs ast.Expr) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj, ok := info.ObjectOf(id).(*types.Var); ok && !isPackageLevel(obj) {
+			defs[obj] = append(defs[obj], rhs)
+		}
+	}
+	ast.Inspect(v.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, _ := ast.Unparen(lhs).(*ast.Ident)
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				addDef(id, rhs)
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				addDef(id, nil)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				addDef(id, nil)
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				addDef(id, rhs)
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for obj, rhss := range defs {
+			if v.fresh[obj] {
+				continue
+			}
+			all := len(rhss) > 0
+			for _, rhs := range rhss {
+				if !v.isFreshExpr(rhs, obj) {
+					all = false
+					break
+				}
+			}
+			if all {
+				v.fresh[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// isFreshExpr reports whether e evaluates to storage no one else holds.
+// self names the variable being defined, so `s = append(s, x)` keeps a
+// fresh s fresh.
+func (v *purityVisitor) isFreshExpr(e ast.Expr, self *types.Var) bool {
+	if e == nil {
+		return false
+	}
+	info := v.info()
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isBuiltin(info, e, "make") || isBuiltin(info, e, "new") {
+			return true
+		}
+		if isBuiltin(info, e, "append") && len(e.Args) > 0 {
+			if id, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok {
+				if obj, ok := info.ObjectOf(id).(*types.Var); ok {
+					return obj == self || v.fresh[obj]
+				}
+			}
+		}
+		return false
+	case *ast.Ident:
+		if obj, ok := info.ObjectOf(e).(*types.Var); ok {
+			return v.fresh[obj]
+		}
+	case *ast.BasicLit:
+		return true
+	}
+	return false
+}
+
+// walk applies the purity rules to a body; returns false on violation.
+func (v *purityVisitor) walk(body *ast.BlockStmt) bool {
+	v.ok = true
+	info := v.info()
+	// lhsRoots: identifiers that are the roots of assignment targets.
+	// checkWrite owns those; the read-of-global rule must not double-report.
+	lhsRoots := make(map[*ast.Ident]bool)
+	noteLHS := func(e ast.Expr) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				lhsRoots[x] = true
+				return
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				noteLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			noteLHS(n.X)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				v.checkWrite(n.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			v.checkWrite(n.Pos(), n.X)
+		case *ast.SendStmt:
+			v.violate(n.Pos(), "pure function %s performs a channel send", v.name)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				v.violate(n.Pos(), "pure function %s performs a channel receive", v.name)
+			}
+		case *ast.GoStmt:
+			v.violate(n.Pos(), "pure function %s spawns a goroutine", v.name)
+		case *ast.CallExpr:
+			v.checkCall(n)
+		case *ast.Ident:
+			if lhsRoots[n] {
+				return true
+			}
+			if obj, ok := info.Uses[n].(*types.Var); ok && isPackageLevel(obj) {
+				if !obj.IsField() {
+					v.violate(n.Pos(),
+						"pure function %s reads mutable package-level %s; pass it in or make it a constant", v.name, obj.Name())
+				}
+			}
+		}
+		return true
+	})
+	return v.ok
+}
+
+// checkWrite verifies an assignment target stays within local storage.
+func (v *purityVisitor) checkWrite(pos token.Pos, target ast.Expr) {
+	info := v.info()
+	root := rootVar(info, target)
+	if root == nil {
+		v.violate(pos, "pure function %s writes through an unanalyzable expression", v.name)
+		return
+	}
+	if isPackageLevel(root) {
+		v.violate(pos, "pure function %s writes package-level %s", v.name, root.Name())
+		return
+	}
+	// A whole-variable write to a local is a rebinding, always fine.
+	if _, plain := ast.Unparen(target).(*ast.Ident); plain {
+		return
+	}
+	// A write through an element, field or dereference mutates whatever
+	// the root references: fine when the root is a fresh local or a
+	// plain value aggregate declared locally; a violation when the root
+	// is (or may share storage with) the receiver, a parameter or a
+	// capture.
+	if v.fresh[root] {
+		return
+	}
+	if v.isParamOrRecv(root) {
+		v.violate(pos, "pure function %s writes through parameter or receiver %s", v.name, root.Name())
+		return
+	}
+	if hasRefComponent(root.Type()) && !v.fresh[root] {
+		v.violate(pos,
+			"pure function %s writes through %s, which may share storage with the caller", v.name, root.Name())
+	}
+}
+
+// isParamOrRecv reports whether root is a parameter or the receiver and
+// the write can reach caller-visible storage (reference-typed or written
+// through a pointer).
+func (v *purityVisitor) isParamOrRecv(root *types.Var) bool {
+	if !isRefType(root.Type()) && !hasRefComponent(root.Type()) {
+		return false
+	}
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj, ok := v.info().Defs[id].(*types.Var); ok && obj == root {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(v.fn.Recv) || check(v.fn.Type.Params)
+}
+
+// checkCall verifies the callee is itself side-effect-free.
+func (v *purityVisitor) checkCall(call *ast.CallExpr) {
+	info := v.info()
+	// An immediately-invoked literal's body is walked inline by the same
+	// traversal; the call itself introduces nothing.
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return
+	}
+	// Builtins and conversions are pure except the channel/copy family.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "close", "delete", "copy", "clear", "print", "println":
+				v.violate(call.Pos(), "pure function %s calls impure builtin %s", v.name, id.Name)
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	callee, _ := calleeObj(info, call).(*types.Func)
+	if callee == nil {
+		// Calling a func-typed local: allow when the value is a fresh
+		// local literal; otherwise unanalyzable.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj, ok := info.ObjectOf(id).(*types.Var); ok && !isPackageLevel(obj) {
+				_ = obj
+				return // local func value; its literal body is walked inline
+			}
+		}
+		v.violate(call.Pos(), "pure function %s makes an unanalyzable call", v.name)
+		return
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	if v.pc.pass.Facts.Pure[callee] {
+		return
+	}
+	path := pkg.Path()
+	if pureStdlibPkgs[path] || pureStdlibFuncs[path+"."+callee.Name()] {
+		return
+	}
+	if pkg == v.pc.pass.Pkg.Types {
+		if decl := v.pc.decls[callee]; decl != nil {
+			if v.pc.check(callee, decl, false) {
+				return
+			}
+			v.violate(call.Pos(),
+				"pure function %s calls %s, which has side effects", v.name, callee.Name())
+			return
+		}
+	}
+	v.violate(call.Pos(),
+		"pure function %s calls %s.%s, which is not marked texsim:pure", v.name, pkg.Name(), callee.Name())
+}

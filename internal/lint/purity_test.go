@@ -1,0 +1,162 @@
+package lint
+
+import "testing"
+
+func TestPurity(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"clean-arithmetic", `package fix
+
+// wrapCoord clamps a texel coordinate.
+// texsim:pure
+func wrapCoord(x, n int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= n {
+		return n - 1
+	}
+	return x
+}
+`},
+		{"global-write", `package fix
+
+var calls int
+
+// texsim:pure
+func impure(x int) int {
+	calls++ //want writes package-level calls
+	return x
+}
+`},
+		{"global-read", `package fix
+
+var weights = []int{1, 2, 3}
+
+// texsim:pure
+func weighted(i int) int {
+	return weights[i] //want reads mutable package-level weights
+}
+`},
+		{"param-write", `package fix
+
+// texsim:pure
+func store(dst []int, x int) {
+	dst[0] = x //want writes through parameter or receiver dst
+}
+`},
+		{"pointer-receiver-write", `package fix
+
+type vec struct{ x, y int }
+
+// texsim:pure
+func (v *vec) scale(k int) {
+	v.x = v.x * k //want writes through parameter or receiver v
+}
+`},
+		{"value-receiver-ok", `package fix
+
+type vec struct{ x, y int }
+
+// texsim:pure
+func (v vec) dot(o vec) int {
+	return v.x*o.x + v.y*o.y
+}
+`},
+		{"fresh-local-ok", `package fix
+
+// texsim:pure
+func ramp(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+`},
+		{"fresh-append-ok", `package fix
+
+// texsim:pure
+func evens(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, 2*i)
+	}
+	return out
+}
+`},
+		{"channel-ops", `package fix
+
+// texsim:pure
+func recv(ch chan int) int {
+	return <-ch //want channel receive
+}
+
+// texsim:pure
+func send(ch chan int, x int) {
+	ch <- x //want channel send
+}
+`},
+		{"goroutine", `package fix
+
+// texsim:pure
+func spawn() {
+	go func() {}() //want spawns a goroutine
+}
+`},
+		{"stdlib-whitelist", `package fix
+
+import (
+	"math"
+	"strconv"
+)
+
+// texsim:pure
+func dist(x, y float64) float64 {
+	return math.Sqrt(x*x + y*y)
+}
+
+// texsim:pure
+func render(x int) string {
+	return strconv.Itoa(x)
+}
+`},
+		{"impure-stdlib-call", `package fix
+
+import "os"
+
+// texsim:pure
+func leak(x int) {
+	os.Exit(x) //want not marked texsim:pure
+}
+`},
+		{"transitive-pure-ok", `package fix
+
+// texsim:pure
+func outer(x int) int {
+	return double(x)
+}
+
+func double(x int) int { return x * 2 }
+`},
+		{"transitive-impure", `package fix
+
+var total int
+
+// texsim:pure
+func outer(x int) int {
+	return bump(x) //want has side effects
+}
+
+func bump(x int) int {
+	total += x
+	return total
+}
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { testAnalyzer(t, Purity, "fix", c.src) })
+	}
+}

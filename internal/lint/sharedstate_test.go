@@ -1,0 +1,204 @@
+package lint
+
+import "testing"
+
+func TestSharedstate(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"captured-write-then-read", `package fix
+
+func f() int {
+	x := 0
+	go func() { //want writes captured x
+		x = 1
+	}()
+	return x
+}
+`},
+		{"spawner-write-goroutine-read", `package fix
+
+func f() int {
+	n := 0
+	go func() { //want captured n is written after the go statement
+		println(n)
+	}()
+	n = 1
+	return n
+}
+`},
+		{"spawner-write-behind-barrier-ok", `package fix
+
+import "sync"
+
+func f() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		println(n)
+		wg.Done()
+	}()
+	wg.Wait()
+	n = 1
+	return n
+}
+`},
+		{"spawner-write-before-spawn-ok", `package fix
+
+func f() {
+	n := 0
+	n = 1
+	go func() {
+		println(n)
+	}()
+}
+`},
+		{"waitgroup-barrier", `package fix
+
+import "sync"
+
+func f() int {
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		x = 1
+		wg.Done()
+	}()
+	wg.Wait()
+	return x
+}
+`},
+		{"channel-barrier", `package fix
+
+func f() int {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 1
+		close(done)
+	}()
+	<-done
+	return x
+}
+`},
+		{"loop-var-capture", `package fix
+
+func f() {
+	for i := 0; i < 4; i++ {
+		go func() { //want captures loop variable i
+			println(i)
+		}()
+	}
+}
+`},
+		{"range-var-capture", `package fix
+
+func f(xs []int) {
+	for _, v := range xs {
+		go func() { //want captures loop variable v
+			println(v)
+		}()
+	}
+}
+`},
+		{"loop-arg-ok", `package fix
+
+func f() {
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			println(i)
+		}(i)
+	}
+}
+`},
+		{"loop-shared-accumulator", `package fix
+
+func f() {
+	sum := 0
+	for i := 0; i < 4; i++ {
+		go func(i int) { //want write captured sum
+			sum += i
+		}(i)
+	}
+}
+`},
+		{"slot-per-worker-ok", `package fix
+
+import "sync"
+
+func f() []int {
+	results := make([]int, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+`},
+		{"alias-write-after-spawn", `package fix
+
+func f() {
+	x := 0
+	p := &x
+	go func() { //want writes captured x
+		x = 1
+	}()
+	*p = 2
+}
+`},
+		{"mutex-guarded", `package fix
+
+import "sync"
+
+func f() int {
+	x := 0
+	var mu sync.Mutex
+	go func() {
+		mu.Lock()
+		x = 1
+		mu.Unlock()
+	}()
+	mu.Lock()
+	v := x
+	mu.Unlock()
+	return v
+}
+`},
+		{"send-then-write", `package fix
+
+func f(ch chan []int) {
+	buf := []int{1, 2, 3}
+	ch <- buf //want sent over a channel and then written
+	buf[0] = 9
+}
+`},
+		{"send-value-ok", `package fix
+
+func f(ch chan int) {
+	n := 3
+	ch <- n
+	n = 9
+	_ = n
+}
+`},
+		{"send-no-write-ok", `package fix
+
+func f(ch chan []int) {
+	buf := []int{1, 2, 3}
+	ch <- buf
+	_ = len(buf)
+}
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { testAnalyzer(t, Sharedstate, "fix", c.src) })
+	}
+}

@@ -29,24 +29,27 @@ type Fig3Point struct {
 	W float64
 }
 
-// Fig3Resolutions are the screen sizes spanned by Figure 3's x axis.
-var Fig3Resolutions = [][2]int{
-	{640, 480}, {800, 600}, {1024, 768}, {1280, 1024}, {1600, 1200},
+// Fig3Resolutions returns the screen sizes spanned by Figure 3's x axis.
+// Accessors return fresh slices so callers cannot perturb the paper's grid.
+func Fig3Resolutions() [][2]int {
+	return [][2]int{
+		{640, 480}, {800, 600}, {1024, 768}, {1280, 1024}, {1600, 1200},
+	}
 }
 
-// Fig3Depths are the depth complexities of Figure 3's x axis.
-var Fig3Depths = []float64{1, 2, 3, 4}
+// Fig3Depths returns the depth complexities of Figure 3's x axis.
+func Fig3Depths() []float64 { return []float64{1, 2, 3, 4} }
 
-// Fig3Utilizations are the per-curve utilisations of Figure 3.
-var Fig3Utilizations = []float64{0.1, 0.25, 0.5, 1.0, 5.0}
+// Fig3Utilizations returns the per-curve utilisations of Figure 3.
+func Fig3Utilizations() []float64 { return []float64{0.1, 0.25, 0.5, 1.0, 5.0} }
 
 // Fig3 generates the full grid of Figure 3: for each utilisation curve,
 // W across (resolution x depth) in row-major order (resolution-major).
 func Fig3() []Fig3Point {
 	var pts []Fig3Point
-	for _, util := range Fig3Utilizations {
-		for _, res := range Fig3Resolutions {
-			for _, d := range Fig3Depths {
+	for _, util := range Fig3Utilizations() {
+		for _, res := range Fig3Resolutions() {
+			for _, d := range Fig3Depths() {
 				r := int64(res[0]) * int64(res[1])
 				pts = append(pts, Fig3Point{
 					Width: res[0], Height: res[1],
@@ -99,23 +102,24 @@ type Table4Row struct {
 	BRLIndex       int64
 }
 
-// Table4HostCapacities are the host texture capacities of Table 4.
-var Table4HostCapacities = []int64{
-	16 << 20, 32 << 20, 64 << 20, 256 << 20, 1 << 30,
+// Table4HostCapacities returns the host texture capacities of Table 4.
+func Table4HostCapacities() []int64 {
+	return []int64{16 << 20, 32 << 20, 64 << 20, 256 << 20, 1 << 30}
 }
 
 // Table4 computes the structure sizes for the given L2 cache sizes under
 // the layout (the paper uses 16x16 tiles).
 func Table4(l2Sizes []int, layout texture.TileLayout) []Table4Row {
 	rows := make([]Table4Row, 0, len(l2Sizes))
+	hosts := Table4HostCapacities()
 	for _, sz := range l2Sizes {
 		row := Table4Row{
 			L2SizeBytes:    sz,
-			PageTableBytes: make(map[int64]int64, len(Table4HostCapacities)),
+			PageTableBytes: make(map[int64]int64, len(hosts)),
 			BRLActive:      BRLActiveBytes(sz, layout),
 			BRLIndex:       BRLIndexBytes(sz, layout),
 		}
-		for _, host := range Table4HostCapacities {
+		for _, host := range hosts {
 			row.PageTableBytes[host] = PageTableBytes(host, layout)
 		}
 		rows = append(rows, row)

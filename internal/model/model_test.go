@@ -37,12 +37,12 @@ func TestExpectedWorkingSetEdgeCases(t *testing.T) {
 
 func TestFig3GridShapeAndMonotonicity(t *testing.T) {
 	pts := Fig3()
-	want := len(Fig3Utilizations) * len(Fig3Resolutions) * len(Fig3Depths)
+	want := len(Fig3Utilizations()) * len(Fig3Resolutions()) * len(Fig3Depths())
 	if len(pts) != want {
 		t.Fatalf("points = %d, want %d", len(pts), want)
 	}
 	// W grows with resolution and depth, shrinks with utilisation.
-	for i := 1; i < len(Fig3Depths); i++ {
+	for i := 1; i < len(Fig3Depths()); i++ {
 		if pts[i].W <= pts[i-1].W {
 			t.Errorf("W not increasing with depth")
 		}
@@ -119,7 +119,7 @@ func TestTable4Rows(t *testing.T) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, r := range rows {
-		if len(r.PageTableBytes) != len(Table4HostCapacities) {
+		if len(r.PageTableBytes) != len(Table4HostCapacities()) {
 			t.Errorf("row %d missing capacities", r.L2SizeBytes)
 		}
 	}

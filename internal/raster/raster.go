@@ -142,10 +142,13 @@ type gradient struct {
 	a, b, c float64
 }
 
+// texsim:pure
 func (g gradient) at(x, y float64) float64 { return g.a*x + g.b*y + g.c }
 
 // planeGradients solves for the linear interpolant through three screen
 // points with values f0, f1, f2. denom is the doubled signed area.
+//
+// texsim:pure
 func planeGradient(x0, y0, x1, y1, x2, y2, invDenom, f0, f1, f2 float64) gradient {
 	a := ((f1-f0)*(y2-y0) - (f2-f0)*(y1-y0)) * invDenom
 	b := ((f2-f0)*(x1-x0) - (f1-f0)*(x2-x0)) * invDenom
@@ -332,6 +335,8 @@ func (r *Rasterizer) sampleAndEmit(tex *texture.Texture, u, v, lambda float64) t
 }
 
 // levelCoord scales base-level texel coordinates to level m.
+//
+// texsim:pure
 func levelCoord(c float64, m int) float64 {
 	return c / float64(int(1)<<uint(m))
 }
@@ -378,6 +383,9 @@ func (r *Rasterizer) bilinearSample(tex *texture.Texture, u, v float64, m int) t
 	return lerpColor(top, bot, fv)
 }
 
+// lerpColor blends two colours channel-wise by t.
+//
+// texsim:pure
 func lerpColor(a, b texture.RGBA, t float64) texture.RGBA {
 	mix := func(x, y uint8) uint8 {
 		return uint8(float64(x) + (float64(y)-float64(x))*t)
@@ -387,6 +395,9 @@ func lerpColor(a, b texture.RGBA, t float64) texture.RGBA {
 	}
 }
 
+// applyShade scales the colour channels by the clamped shade factor.
+//
+// texsim:pure
 func applyShade(c texture.RGBA, s float64) texture.RGBA {
 	if s < 0 {
 		s = 0
@@ -402,5 +413,8 @@ func applyShade(c texture.RGBA, s float64) texture.RGBA {
 	}
 }
 
+// texsim:pure
 func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+
+// texsim:pure
 func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }

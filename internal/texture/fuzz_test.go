@@ -10,10 +10,10 @@ import "testing"
 // whole cache hierarchy tags by.
 func FuzzAddr(f *testing.F) {
 	tilings := []*Tiling{
-		MustNewTiling(MustNew("square", 128, 128, RGBA8888, nil), CanonicalL1),
-		MustNewTiling(MustNew("wide", 256, 32, RGB565, nil), CanonicalL1),
+		MustNewTiling(MustNew("square", 128, 128, RGBA8888, nil), CanonicalL1()),
+		MustNewTiling(MustNew("wide", 256, 32, RGB565, nil), CanonicalL1()),
 		MustNewTiling(MustNew("tall", 16, 64, RGBA8888, nil), TileLayout{L2Size: 32, L1Size: 4}),
-		MustNewTiling(MustNew("tiny", 4, 4, RGBA8888, nil), CanonicalL1),
+		MustNewTiling(MustNew("tiny", 4, 4, RGBA8888, nil), CanonicalL1()),
 	}
 	f.Add(uint16(0), uint16(0), uint8(0), uint8(0))
 	f.Add(uint16(127), uint16(127), uint8(0), uint8(0))

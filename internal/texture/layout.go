@@ -11,10 +11,14 @@ type TileLayout struct {
 	L1Size int // L1 sub-tile edge length in texels
 }
 
-// CanonicalL1 is the fixed layout used for L1 cache tag calculation in the
-// simulator, matching the paper's choice (§3.3): 16x16 L2 tiles over 4x4 L1
-// sub-tiles, independent of the L2 cache's simulated tile size.
-var CanonicalL1 = TileLayout{L2Size: 16, L1Size: 4}
+// CanonicalL1 returns the fixed layout used for L1 cache tag calculation in
+// the simulator, matching the paper's choice (§3.3): 16x16 L2 tiles over 4x4
+// L1 sub-tiles, independent of the L2 cache's simulated tile size. It is a
+// function rather than a package-level var so callers cannot mutate the
+// canonical choice mid-run.
+//
+// texsim:pure
+func CanonicalL1() TileLayout { return TileLayout{L2Size: 16, L1Size: 4} }
 
 // Validate reports whether the layout is usable.
 func (l TileLayout) Validate() error {
@@ -38,6 +42,9 @@ func (l TileLayout) SubPerEdge() int { return l.L2Size / l.L1Size }
 func (l TileLayout) SubPerBlock() int { s := l.SubPerEdge(); return s * s }
 
 // L2BlockBytes returns the cache storage of one L2 tile at 32-bit texels.
+// The hierarchy reads it on every partial hit and full miss.
+//
+// texsim:hot texsim:pure
 func (l TileLayout) L2BlockBytes() int {
 	return l.L2Size * l.L2Size * CacheTexelBytes
 }
@@ -139,7 +146,7 @@ func (ti *Tiling) NumL2Blocks() uint32 { return ti.numL2 }
 // virtual texture block address <tid, L2, L1>. u and v must already be
 // wrapped into the level extent and m must be a valid level.
 //
-// texlint:hotpath
+// texlint:hotpath texsim:pure
 func (ti *Tiling) Addr(u, v, m int) Virtual {
 	l2u := u >> ti.l2Shift
 	l2v := v >> ti.l2Shift

@@ -36,10 +36,13 @@ func (s *Set) Register(t *Texture) *Texture {
 // Len returns the number of registered textures.
 func (s *Set) Len() int { return len(s.textures) }
 
-// ByID returns the texture with the given ID.
+// ByID returns the texture with the given ID. The stats collector calls it
+// per texel, so the bad-ID panic carries a constant message.
+//
+// texsim:hot
 func (s *Set) ByID(id ID) *Texture {
 	if int(id) >= len(s.textures) {
-		panic(fmt.Sprintf("texture: unknown id %d", id))
+		panic("texture: unknown texture id")
 	}
 	return s.textures[id]
 }

@@ -30,7 +30,9 @@ const (
 	RGBA8888
 )
 
-// BytesPerTexel returns the storage cost of one texel in this format.
+// BytesPerTexel returns the storage cost of one texel in this format. It
+// sits on the per-frame push-bytes path, so the impossible-format panic
+// carries a constant message rather than formatting the value.
 func (f Format) BytesPerTexel() int {
 	switch f {
 	case L8:
@@ -42,7 +44,7 @@ func (f Format) BytesPerTexel() int {
 	case RGBA8888:
 		return 4
 	default:
-		panic(fmt.Sprintf("texture: unknown format %d", int(f)))
+		panic("texture: unknown format")
 	}
 }
 
@@ -132,7 +134,10 @@ func (t *Texture) Width() int { return t.Levels[0].Width }
 func (t *Texture) Height() int { return t.Levels[0].Height }
 
 // HostBytes returns the total bytes the texture occupies in host memory at
-// its original depth, summed over all MIP levels.
+// its original depth, summed over all MIP levels. The stats collector calls
+// it per texel on first touch of a frame.
+//
+// texsim:hot
 func (t *Texture) HostBytes() int64 {
 	var total int64
 	bpt := int64(t.Format.BytesPerTexel())
@@ -152,6 +157,8 @@ func (t *Texture) Texels() int64 {
 }
 
 // ClampLevel clamps a MIP level to the valid range for this texture.
+//
+// texsim:pure
 func (t *Texture) ClampLevel(m int) int {
 	if m < 0 {
 		return 0
@@ -164,6 +171,8 @@ func (t *Texture) ClampLevel(m int) int {
 
 // WrapTexel maps an arbitrary integer texel coordinate into the level's
 // extent using repeat (wrap) addressing, the mode used by both workloads.
+//
+// texsim:pure
 func WrapTexel(c, extent int) int {
 	c %= extent
 	if c < 0 {
