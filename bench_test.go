@@ -164,6 +164,42 @@ func BenchmarkVillageFrame(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Sweep engine benchmarks: the full 13-spec cache sweep of the Village at
+// bench scale, serial reference fan-out vs the render-once/replay-many
+// worker pool. The parallel engine's gain comes from replaying the
+// in-memory trace through all hierarchies concurrently instead of pushing
+// every texel through 13 hierarchies in one goroutine.
+// ---------------------------------------------------------------------------
+
+func benchSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	scale := experiments.Bench()
+	render := core.Config{
+		Width:       scale.Width,
+		Height:      scale.Height,
+		Frames:      scale.VillageFrames,
+		Mode:        raster.Trilinear,
+		Parallelism: parallelism,
+	}
+	specs := experiments.SweepSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunComparison(workload.Village(), render, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the legacy single-goroutine engine.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel4 bounds the worker pool at four replay workers.
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+
+// BenchmarkSweepParallel uses the default pool (GOMAXPROCS workers).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // BenchmarkTraceRecordReplay measures the trace encode+decode round trip.
 func BenchmarkTraceRecordReplay(b *testing.B) {
 	w := workload.City()

@@ -24,7 +24,7 @@ func main() {
 	scaleName := flag.String("scale", "reduced", "bench | reduced | full")
 	out := flag.String("o", "", "write output to file instead of stdout")
 	parallel := flag.Int("parallel", 0,
-		"precompute shared simulation runs with this many goroutines (0 = GOMAXPROCS, -1 = off)")
+		"worker pool size for prefetch and cache sweeps (0 = GOMAXPROCS, -1 = serial)")
 	csvDir := flag.String("csv", "", "also export per-frame figure series as CSV into this directory")
 	flag.Parse()
 
@@ -60,6 +60,11 @@ func main() {
 	}
 
 	ctx := experiments.NewContext(scale, w)
+	if *parallel < 0 {
+		ctx.Parallelism = 1 // serial reference engine
+	} else {
+		ctx.Parallelism = *parallel
+	}
 	run := func(e experiments.Experiment) {
 		start := time.Now() //texlint:ignore determinism progress timing on stderr only
 		if err := e.Run(ctx); err != nil {

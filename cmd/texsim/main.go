@@ -7,6 +7,13 @@
 //	texsim -workload village -l1 2048 -l2mb 2
 //	texsim -workload city -mode bilinear -l2mb 0          # pull architecture
 //	texsim -workload village -l2mb 4 -l2tile 32 -policy lru -zfirst
+//
+// With -sweep the workload is rendered once and the reference stream is
+// replayed through a small cache sweep (pull at the chosen L1 size, plus
+// 2/4/8 MB L2 behind it) on the parallel sweep engine; -parallel bounds
+// the worker pool (0 = GOMAXPROCS, 1 = serial reference engine):
+//
+//	texsim -workload city -sweep -parallel 4
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	zfirst := flag.Bool("zfirst", false, "depth test before texture access")
 	nosector := flag.Bool("nosector", false, "disable sector mapping")
 	stats := flag.Bool("stats", false, "collect working-set statistics")
+	sweep := flag.Bool("sweep", false, "replay the rendered stream through a cache sweep")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var w *workload.Workload
@@ -91,12 +100,65 @@ func main() {
 		cfg.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
 	}
 
+	if *sweep {
+		cfg.Parallelism = *parallel
+		if err := runSweep(w, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res, err := core.Run(w, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	report(w, cfg, res)
+}
+
+// runSweep renders the workload once and replays the reference stream
+// through the pull architecture at the chosen L1 size plus 2/4/8 MB L2
+// configurations, printing one compact row per spec.
+func runSweep(w *workload.Workload, cfg core.Config) error {
+	specs := []core.CacheSpec{
+		{Name: fmt.Sprintf("pull-%dk", cfg.L1Bytes/1024), L1Bytes: cfg.L1Bytes},
+	}
+	for _, mb := range []int{2, 4, 8} {
+		specs = append(specs, core.CacheSpec{
+			Name:    fmt.Sprintf("l2-%dm", mb),
+			L1Bytes: cfg.L1Bytes,
+			L2: &cache.L2Config{
+				SizeBytes: mb << 20,
+				Layout:    texture.TileLayout{L2Size: 16, L1Size: 4},
+				Policy:    cache.Clock,
+			},
+			TLBEntries: cfg.TLBEntries,
+		})
+	}
+	cmp, err := core.RunComparison(w, cfg, specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %d frames at %dx%d (%v)\n",
+		w.Name, len(cmp.Results[0].Frames), cfg.Width, cfg.Height, cfg.Mode)
+	fmt.Printf("%-10s %10s %10s %10s %14s\n",
+		"spec", "L1 hit", "L2 full", "TLB hit", "host MB/frame")
+	for i, spec := range specs {
+		res := cmp.Results[i]
+		t := res.Totals
+		l2 := "-"
+		tlb := "-"
+		if spec.L2 != nil {
+			l2 = fmt.Sprintf("%.2f%%", 100*t.L2.FullHitRate())
+			if spec.TLBEntries > 0 {
+				tlb = fmt.Sprintf("%.2f%%", 100*t.TLB.HitRate())
+			}
+		}
+		fmt.Printf("%-10s %9.2f%% %10s %10s %14.3f\n",
+			spec.Name, 100*t.L1.HitRate(), l2, tlb, res.AvgHostMBPerFrame())
+	}
+	return nil
 }
 
 func report(w *workload.Workload, cfg core.Config, res *core.Results) {

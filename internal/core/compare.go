@@ -85,11 +85,28 @@ func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
 	}
 }
 
+// specConfig merges one CacheSpec into the render configuration, yielding
+// the Config recorded in that spec's Results.
+func specConfig(render Config, spec CacheSpec) Config {
+	cfg := render
+	cfg.L1Bytes = spec.L1Bytes
+	cfg.L1Ways = spec.L1Ways
+	cfg.L2 = spec.L2
+	cfg.TLBEntries = spec.TLBEntries
+	return cfg
+}
+
 // RunComparison renders the workload once under render (resolution, frame
 // count, filter, z-order) and simulates every spec against the identical
 // texel reference stream. render's own cache fields are ignored. When
 // render.StatLayouts is non-empty, working-set statistics are gathered once
 // and attached to the first spec's results.
+//
+// render.Parallelism selects the engine: 1 runs the serial reference
+// fan-out (every texel pushed through all hierarchies in one goroutine),
+// anything else renders once into a sharded in-memory trace and replays
+// it through the specs on a bounded worker pool (see sweep.go). The two
+// paths produce byte-identical Comparisons.
 func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Comparison, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: no cache specs")
@@ -103,6 +120,15 @@ func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Com
 	if err := render.Validate(); err != nil {
 		return nil, err
 	}
+	if par := sweepWorkers(render.Parallelism, len(specs)); par > 1 {
+		return runComparisonParallel(w, render, specs, par)
+	}
+	return runComparisonSerial(w, render, specs)
+}
+
+// runComparisonSerial is the legacy single-goroutine engine, kept as the
+// reference implementation the parallel path is tested against.
+func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec) (*Comparison, error) {
 	set := w.Scene.Textures
 	set.MustPrepare(texture.CanonicalL1())
 
@@ -150,13 +176,9 @@ func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Com
 			}
 		}
 		sink.specs = append(sink.specs, specState{hier: hier, layoutIdx: layoutIdx})
-
-		cfg := render
-		cfg.L1Bytes = spec.L1Bytes
-		cfg.L1Ways = spec.L1Ways
-		cfg.L2 = spec.L2
-		cfg.TLBEntries = spec.TLBEntries
-		cmp.Results = append(cmp.Results, &Results{Workload: w.Name, Config: cfg})
+		cmp.Results = append(cmp.Results, &Results{
+			Workload: w.Name, Config: specConfig(render, spec),
+		})
 	}
 
 	if len(render.StatLayouts) > 0 {

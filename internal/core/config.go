@@ -46,6 +46,14 @@ type Config struct {
 	StatLayouts []texture.TileLayout
 	// Framebuffer renders colour output (snapshots); costs time.
 	Framebuffer bool
+	// Parallelism bounds the worker pool of comparison sweeps
+	// (RunComparison): 0 means runtime.GOMAXPROCS(0), 1 selects the
+	// serial reference fan-out, and higher values render the workload
+	// once into a sharded trace and replay it through that many cache
+	// hierarchies concurrently. Results are byte-identical at every
+	// setting; the knob trades memory (the in-memory trace, roughly 2-3
+	// bytes per texel reference) for wall-clock. Negative is invalid.
+	Parallelism int
 }
 
 // Validate checks the configuration.
@@ -55,6 +63,9 @@ func (c Config) Validate() error {
 	}
 	if c.L1Bytes <= 0 {
 		return fmt.Errorf("core: L1 size %d", c.L1Bytes)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	if c.L2 != nil {
 		if err := c.L2.Layout.Validate(); err != nil {

@@ -1,0 +1,285 @@
+// Render-once / replay-many parallel sweep engine. The paper's
+// methodology is trace-driven: one rendered reference stream is replayed
+// through many cache configurations (§3.3). The serial fan-out in
+// compare.go interleaves rendering and all cache simulations in a single
+// goroutine, so an N-spec sweep costs render + N×sim on one core. This
+// engine instead renders the workload once into an in-memory sharded
+// trace (the internal/trace varint encoding, one independently decodable
+// shard per frame) and replays the shards through each spec's hierarchy
+// concurrently on a bounded worker pool. Workers consume shards as the
+// render pass publishes them, so replay overlaps rendering instead of
+// waiting for it. Results are assembled in spec order and are
+// byte-identical to the serial path: the trace encoding is lossless,
+// every hierarchy sees the identical reference stream, and per-frame
+// counter snapshots follow the same arithmetic.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"texcache/internal/cache"
+	"texcache/internal/raster"
+	"texcache/internal/scene"
+	"texcache/internal/stats"
+	"texcache/internal/texture"
+	"texcache/internal/trace"
+	"texcache/internal/workload"
+)
+
+// sweepWorkers resolves the Parallelism knob to an effective worker
+// count: 0 means GOMAXPROCS, and a single-spec comparison always takes
+// the serial path (the trace round trip buys nothing there).
+func sweepWorkers(parallelism, nspecs int) int {
+	if nspecs <= 1 {
+		return 1
+	}
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > nspecs {
+		parallelism = nspecs
+	}
+	return parallelism
+}
+
+// renderedTrace is the texel reference stream sharded by frame, plus
+// everything else the assembled Comparison needs from the render pass.
+// Shards are complete streams (header plus one whole frame), so each
+// replays independently and the per-frame delta coder restarts at every
+// shard boundary. The producer (render pass) publishes shard f by closing
+// ready[f] after storing shards[f]; the channel close is the
+// happens-before edge that lets replay workers read the shard while later
+// frames are still rendering. pipeline, pixels and stats are touched only
+// by the producer and, after all workers are joined, the coordinator.
+type renderedTrace struct {
+	shards [][]byte
+	ready  []chan struct{}
+
+	pipeline []scene.FrameStats
+	pixels   []int64
+	stats    []stats.Frame // per frame, when collecting
+}
+
+func newRenderedTrace(frames int) *renderedTrace {
+	rt := &renderedTrace{
+		shards:   make([][]byte, frames),
+		ready:    make([]chan struct{}, frames),
+		pipeline: make([]scene.FrameStats, frames),
+		pixels:   make([]int64, frames),
+	}
+	for f := range rt.ready {
+		rt.ready[f] = make(chan struct{})
+	}
+	return rt
+}
+
+// abort publishes every not-yet-rendered shard as nil so that blocked
+// workers wake up and drain instead of waiting forever.
+func (rt *renderedTrace) abort(from int) {
+	for f := from; f < len(rt.ready); f++ {
+		close(rt.ready[f])
+	}
+}
+
+// render renders every frame of the workload under render's resolution,
+// frame count and filter, encoding the reference stream into one shard
+// per frame — published to the replay workers as soon as it is complete —
+// and feeding the optional working-set collector.
+func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *stats.Collector) error {
+	rast, err := raster.New(raster.Config{
+		Width: render.Width, Height: render.Height,
+		Mode:           render.Mode,
+		ZBeforeTexture: render.ZBeforeTexture,
+	})
+	if err != nil {
+		rt.abort(0)
+		return err
+	}
+	var tw *trace.Writer
+	rast.SetSink(raster.SinkFunc(func(tid texture.ID, u, v, m int) {
+		tw.Texel(uint32(tid), u, v, m)
+		if collect != nil {
+			collect.Texel(tid, u, v, m)
+		}
+	}))
+	pipeline := scene.NewPipeline(rast)
+	aspect := float64(render.Width) / float64(render.Height)
+	if collect != nil {
+		rt.stats = make([]stats.Frame, render.Frames)
+	}
+
+	for f := 0; f < render.Frames; f++ {
+		var buf shardBuffer
+		tw = trace.NewWriter(&buf)
+		tw.BeginFrame()
+		if collect != nil {
+			collect.BeginFrame()
+		}
+		pst := pipeline.RenderFrame(w.Scene, w.Camera(aspect, f, render.Frames))
+		tw.EndFrame(rast.Pixels())
+		if err := tw.Close(); err != nil {
+			rt.abort(f)
+			return fmt.Errorf("core: sweep: encoding frame %d: %w", f, err)
+		}
+		rt.pipeline[f] = pst
+		rt.pixels[f] = rast.Pixels()
+		if collect != nil {
+			collect.AddPixels(rast.Pixels())
+			rt.stats[f] = collect.EndFrame()
+		}
+		rt.shards[f] = buf.data
+		close(rt.ready[f])
+	}
+	return nil
+}
+
+// shardBuffer is a minimal append-only byte sink for one shard.
+type shardBuffer struct{ data []byte }
+
+func (b *shardBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// sweepHandler feeds one spec's hierarchy from replayed shards,
+// reproducing exactly the FrameResults the serial fan-out produces for
+// that spec. Unlike replayHandler (which guards ReplayTrace against
+// hostile external streams), it performs no per-texel validation: sweep
+// shards are encoded in-process from rasterizer output, whose coordinates
+// are valid by construction.
+type sweepHandler struct {
+	sink *addrSink
+	hier *cache.Hierarchy
+	res  *Results
+	prev cache.Counters
+}
+
+func (h *sweepHandler) BeginFrame() {}
+
+// Texel forwards one trusted reference to the address sink.
+//
+// texlint:hotpath
+func (h *sweepHandler) Texel(tid uint32, u, v, m int) {
+	h.sink.Texel(texture.ID(tid), u, v, m)
+}
+
+func (h *sweepHandler) EndFrame(pixels int64) {
+	cur := h.hier.Counters()
+	h.res.Frames = append(h.res.Frames, FrameResult{
+		Pixels:   pixels,
+		Counters: cur.Sub(h.prev),
+	})
+	h.prev = cur
+}
+
+// replaySpec drives one spec's pre-built hierarchy through every shard in
+// frame order, blocking on shards the render pass has not published yet.
+// Each worker owns its hierarchy and sink; nothing here is shared with
+// other workers except the read-only shards.
+func replaySpec(rt *renderedTrace, hier *cache.Hierarchy, sink *addrSink, res *Results) error {
+	h := &sweepHandler{sink: sink, hier: hier, res: res}
+	for f := range rt.shards {
+		<-rt.ready[f]
+		shard := rt.shards[f]
+		if shard == nil {
+			// Render aborted; the coordinator reports its error.
+			return nil
+		}
+		if _, err := trace.ReplayBytes(shard, h); err != nil {
+			return fmt.Errorf("core: sweep replay: %w", err)
+		}
+	}
+	res.Totals = hier.Counters()
+	return nil
+}
+
+// runComparisonParallel is the render-once / replay-many engine behind
+// RunComparison for Parallelism != 1. The hierarchies are built serially
+// up front (so spec errors surface before the expensive render, and so
+// every texture.Set layout is prepared before any worker goroutine reads
+// the registry), then one goroutine per spec — at most par replaying at a
+// time — consumes the shards as the coordinator renders them, each
+// writing only its own result and error slot. Assembly in spec order
+// makes the output deterministic and byte-identical to
+// runComparisonSerial.
+func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpec, par int) (*Comparison, error) {
+	set := w.Scene.Textures
+	set.MustPrepare(texture.CanonicalL1())
+
+	// Build every spec's hierarchy and sink before spawning anything:
+	// buildHierarchy prepares tile layouts in the texture registry, which
+	// memoizes into maps that must not be written concurrently.
+	hiers := make([]*cache.Hierarchy, len(specs))
+	sinks := make([]*addrSink, len(specs))
+	cmp := &Comparison{Workload: w.Name, Render: render}
+	for i, spec := range specs {
+		cfg := specConfig(render, spec)
+		hier, sink, err := buildHierarchy(set, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: spec %q: %w", spec.Name, err)
+		}
+		hiers[i] = hier
+		sinks[i] = sink
+		cmp.Results = append(cmp.Results, &Results{Workload: w.Name, Config: cfg})
+	}
+
+	var collect *stats.Collector
+	if len(render.StatLayouts) > 0 {
+		var err error
+		collect, err = stats.NewCollector(set, render.StatLayouts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rt := newRenderedTrace(render.Frames)
+
+	// One goroutine per spec, at most par replaying concurrently; each
+	// worker writes only its own errs slot and its own Results (joined by
+	// wg.Wait before the coordinator reads either).
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = replaySpec(rt, hiers[i], sinks[i], cmp.Results[i])
+		}(i)
+	}
+
+	renderErr := rt.render(w, render, collect)
+	wg.Wait()
+	if renderErr != nil {
+		return nil, renderErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: spec %q: %w", specs[i].Name, err)
+		}
+	}
+
+	// Workers account pixels and counters from the stream; the geometry
+	// pipeline statistics come from the render pass.
+	for _, res := range cmp.Results {
+		for f := range res.Frames {
+			res.Frames[f].Pipeline = rt.pipeline[f]
+		}
+	}
+	cmp.FramePixels = append(cmp.FramePixels, rt.pixels...)
+	if collect != nil {
+		// As in the serial path, the working-set statistics ride on the
+		// first spec's results.
+		for f := range rt.stats {
+			cmp.Results[0].Frames[f].Stats = &rt.stats[f]
+		}
+		sum := stats.Summarize(collect.Frames(),
+			int64(render.Width)*int64(render.Height))
+		cmp.Results[0].Summary = &sum
+	}
+	return cmp, nil
+}

@@ -23,6 +23,7 @@ func (c *Context) AblationZ() error {
 				Frames:         c.frames(name),
 				Mode:           raster.Trilinear,
 				ZBeforeTexture: zFirst,
+				Parallelism:    c.Parallelism,
 			}
 			cmp, err := core.RunComparison(c.workloadByName(name), render,
 				[]core.CacheSpec{l2Spec("l2", 2<<10, 2, 0)})
@@ -72,10 +73,11 @@ func (c *Context) AblationRepl() error {
 			})
 		}
 		render := core.Config{
-			Width:  c.Scale.Width,
-			Height: c.Scale.Height,
-			Frames: c.frames(name),
-			Mode:   raster.Trilinear,
+			Width:       c.Scale.Width,
+			Height:      c.Scale.Height,
+			Frames:      c.frames(name),
+			Mode:        raster.Trilinear,
+			Parallelism: c.Parallelism,
 		}
 		cmp, err := core.RunComparison(c.workloadByName(name), render, specs)
 		if err != nil {
@@ -123,10 +125,11 @@ func (c *Context) AblationSector() error {
 			},
 		}
 		render := core.Config{
-			Width:  c.Scale.Width,
-			Height: c.Scale.Height,
-			Frames: c.frames(name),
-			Mode:   raster.Trilinear,
+			Width:       c.Scale.Width,
+			Height:      c.Scale.Height,
+			Frames:      c.frames(name),
+			Mode:        raster.Trilinear,
+			Parallelism: c.Parallelism,
 		}
 		cmp, err := core.RunComparison(c.workloadByName(name), render, specs)
 		if err != nil {
@@ -169,10 +172,11 @@ func (c *Context) AblationAssoc() error {
 		})
 	}
 	render := core.Config{
-		Width:  c.Scale.Width,
-		Height: c.Scale.Height,
-		Frames: c.frames("village"),
-		Mode:   raster.Trilinear,
+		Width:       c.Scale.Width,
+		Height:      c.Scale.Height,
+		Frames:      c.frames("village"),
+		Mode:        raster.Trilinear,
+		Parallelism: c.Parallelism,
 	}
 	cmp, err := core.RunComparison(c.workloadByName("village"), render, specs)
 	if err != nil {

@@ -48,6 +48,11 @@ func Full() Scale {
 type Context struct {
 	Scale Scale
 	Out   io.Writer
+	// Parallelism is forwarded to core.Config.Parallelism for every cache
+	// sweep the context runs: 0 means GOMAXPROCS, 1 the serial reference
+	// engine, higher values the render-once/replay-many worker pool.
+	// Results are identical at every setting.
+	Parallelism int
 
 	workloads map[string]*workload.Workload
 	statsRuns map[string]*core.Results
@@ -145,10 +150,11 @@ func l2Spec(name string, l1Bytes, l2MB, tlb int) core.CacheSpec {
 	}
 }
 
-// sweepSpecs is the shared cache sweep behind Figures 9-11 and Tables 2,
+// SweepSpecs is the shared cache sweep behind Figures 9-11 and Tables 2,
 // 3, 5-8: pull-architecture L1 sizes, L2 sizes behind a 2 KB L1, and the
-// TLB entry sweep.
-func sweepSpecs() []core.CacheSpec {
+// TLB entry sweep. It is exported so benchmarks and equivalence tests can
+// exercise the exact spec set the experiments run.
+func SweepSpecs() []core.CacheSpec {
 	specs := []core.CacheSpec{
 		{Name: "pull-2k", L1Bytes: 2 << 10},
 		{Name: "pull-4k", L1Bytes: 4 << 10},
@@ -173,12 +179,13 @@ func (c *Context) sweep(name string, mode raster.SampleMode) (*core.Comparison, 
 		return r, nil
 	}
 	render := core.Config{
-		Width:  c.Scale.Width,
-		Height: c.Scale.Height,
-		Frames: c.frames(name),
-		Mode:   mode,
+		Width:       c.Scale.Width,
+		Height:      c.Scale.Height,
+		Frames:      c.frames(name),
+		Mode:        mode,
+		Parallelism: c.Parallelism,
 	}
-	cmp, err := core.RunComparison(c.workloadByName(name), render, sweepSpecs())
+	cmp, err := core.RunComparison(c.workloadByName(name), render, SweepSpecs())
 	if err != nil {
 		return nil, err
 	}
@@ -187,9 +194,9 @@ func (c *Context) sweep(name string, mode raster.SampleMode) (*core.Comparison, 
 }
 
 // specResult finds a named spec's results within a sweep comparison; the
-// results are positionally parallel to sweepSpecs().
+// results are positionally parallel to SweepSpecs().
 func specResult(cmp *core.Comparison, name string) *core.Results {
-	for i, s := range sweepSpecs() {
+	for i, s := range SweepSpecs() {
 		if s.Name == name {
 			return cmp.Results[i]
 		}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"texcache/internal/core"
+	"texcache/internal/raster"
+	"texcache/internal/workload"
+)
+
+// TestParallelSweepMatchesSerial is the sweep engine's contract: the
+// render-once/replay-many worker pool produces a Comparison identical to
+// the serial reference fan-out for every spec the experiments sweep. It
+// runs at a tiny scale so that the race lane (go test -race) covers the
+// worker pool on every CI run; it is deliberately not gated by
+// raceEnabled.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	render := core.Config{
+		Width:  192,
+		Height: 144,
+		Frames: 4,
+		Mode:   raster.Trilinear,
+	}
+	specs := SweepSpecs()
+
+	render.Parallelism = 1
+	serial, err := core.RunComparison(workload.Village(), render, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render.Parallelism = 4
+	parallel, err := core.RunComparison(workload.Village(), render, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Parallelism knob itself is recorded in the configs; normalise it
+	// before demanding identity of everything else.
+	parallel.Render.Parallelism = serial.Render.Parallelism
+	for i := range parallel.Results {
+		parallel.Results[i].Config.Parallelism = serial.Results[i].Config.Parallelism
+	}
+
+	if len(parallel.Results) != len(specs) {
+		t.Fatalf("results = %d, want %d", len(parallel.Results), len(specs))
+	}
+	for i, spec := range specs {
+		s, p := serial.Results[i], parallel.Results[i]
+		if s.Totals != p.Totals {
+			t.Errorf("spec %q: totals differ:\nserial   %+v\nparallel %+v",
+				spec.Name, s.Totals, p.Totals)
+		}
+		for f := range s.Frames {
+			if s.Frames[f].Counters != p.Frames[f].Counters {
+				t.Errorf("spec %q frame %d: counters differ", spec.Name, f)
+			}
+		}
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("comparisons not identical beyond counters (pixels, pipeline stats, or summary differ)")
+	}
+}

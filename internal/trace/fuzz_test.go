@@ -34,8 +34,16 @@ func FuzzReplay(f *testing.F) {
 	f.Add([]byte{'T', 'X', 'T', 'R', 1, 0x01, 0x05, 0x80, 0x80, 0x80})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Must terminate without panicking.
-		_, _ = Replay(bytes.NewReader(data), discardHandler{})
+		// Both decoders must terminate without panicking, and must agree
+		// on the frame count and on whether the stream is well-formed.
+		fa, ea := Replay(bytes.NewReader(data), discardHandler{})
+		fb, eb := ReplayBytes(data, discardHandler{})
+		if fa != fb {
+			t.Fatalf("frames: %d (reader) vs %d (bytes)", fa, fb)
+		}
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("errors disagree: %v (reader) vs %v (bytes)", ea, eb)
+		}
 	})
 }
 
@@ -68,13 +76,14 @@ func FuzzRoundTrip(f *testing.F) {
 			t.Fatal(err)
 		}
 
+		data := buf.Bytes()
 		var got []ev
 		h := handlerFuncs{
 			texel: func(tid uint32, u, v, m int) {
 				got = append(got, ev{tid, u, v, m})
 			},
 		}
-		if _, err := Replay(&buf, h); err != nil {
+		if _, err := Replay(bytes.NewReader(data), h); err != nil {
 			t.Fatal(err)
 		}
 		if len(got) != len(want) {
@@ -83,6 +92,24 @@ func FuzzRoundTrip(f *testing.F) {
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		// The slice decoder must reproduce the identical event sequence.
+		var got2 []ev
+		h2 := handlerFuncs{
+			texel: func(tid uint32, u, v, m int) {
+				got2 = append(got2, ev{tid, u, v, m})
+			},
+		}
+		if _, err := ReplayBytes(data, h2); err != nil {
+			t.Fatal(err)
+		}
+		if len(got2) != len(want) {
+			t.Fatalf("ReplayBytes events: got %d, want %d", len(got2), len(want))
+		}
+		for i := range want {
+			if got2[i] != want[i] {
+				t.Fatalf("ReplayBytes event %d: got %+v, want %+v", i, got2[i], want[i])
 			}
 		}
 	})

@@ -39,15 +39,17 @@ type Event struct {
 
 // Writer encodes a reference stream.
 type Writer struct {
-	w       *bufio.Writer
-	buf     [binary.MaxVarintLen64]byte
-	curTID  uint32
-	curM    int
-	lastU   int
-	lastV   int
-	started bool
-	inFrame bool
-	err     error
+	w        *bufio.Writer
+	buf      [binary.MaxVarintLen64]byte
+	curTID   uint32
+	curM     int
+	lastU    int
+	lastV    int
+	started  bool
+	inFrame  bool
+	closed   bool
+	closeErr error
+	err      error
 }
 
 // NewWriter begins a stream on w.
@@ -132,15 +134,31 @@ func (w *Writer) fail(err error) {
 	}
 }
 
-// Close flushes the stream and returns the first error encountered.
+// Err returns the first error the writer has encountered so far, nil if
+// none. Callers recording long streams can poll it between frames to stop
+// rendering as soon as the underlying writer fails.
+func (w *Writer) Err() error { return w.err }
+
+// Close flushes the stream and returns the first error encountered: a
+// prior write failure, closing mid-frame, or the flush itself. Buffered
+// bytes are flushed even on error, so the complete frames of a partial
+// stream remain decodable. Close is idempotent: repeated calls return the
+// same result without further writes.
 func (w *Writer) Close() error {
-	if w.err != nil {
-		return w.err
+	if w.closed {
+		return w.closeErr
 	}
-	if w.inFrame {
-		return errors.New("trace: Close inside a frame")
+	w.closed = true
+	flushErr := w.w.Flush()
+	switch {
+	case w.err != nil:
+		w.closeErr = w.err
+	case w.inFrame:
+		w.closeErr = errors.New("trace: Close inside a frame")
+	default:
+		w.closeErr = flushErr
 	}
-	return w.w.Flush()
+	return w.closeErr
 }
 
 // Handler receives replayed trace content. BeginFrame is called before the
@@ -151,9 +169,36 @@ type Handler interface {
 	EndFrame(pixels int64)
 }
 
+// FailingHandler is an optional extension of Handler. A handler whose
+// ReplayErr returns non-nil aborts the replay: the decoders consult it at
+// frame boundaries (cheap — never on the per-texel path) and return the
+// handler's error with the count of fully replayed frames. Handlers that
+// validate events against external state (texture registries, address
+// tables) latch their first failure here instead of panicking mid-stream.
+type FailingHandler interface {
+	ReplayErr() error
+}
+
+// handlerErr returns the handler's latched error when h implements
+// FailingHandler, nil otherwise.
+func handlerErr(h Handler) error {
+	if f, ok := h.(FailingHandler); ok {
+		return f.ReplayErr()
+	}
+	return nil
+}
+
 // Replay decodes a stream from r, invoking h for each event. It returns
 // the number of frames replayed.
 func Replay(r io.Reader, h Handler) (frames int, err error) {
+	return ReplayFrames(r, h, 0)
+}
+
+// ReplayFrames is Replay bounded to the first maxFrames frames of the
+// stream (0 or negative means no limit). Decoding stops cleanly at the
+// closing frame boundary, so a bounded replay never reads past its last
+// frame's data.
+func ReplayFrames(r io.Reader, h Handler, maxFrames int) (frames int, err error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -176,7 +221,7 @@ func Replay(r io.Reader, h Handler) (frames int, err error) {
 			if inFrame {
 				return frames, errors.New("trace: truncated inside a frame")
 			}
-			return frames, nil
+			return frames, handlerErr(h)
 		}
 		if err != nil {
 			return frames, err
@@ -185,6 +230,9 @@ func Replay(r io.Reader, h Handler) (frames int, err error) {
 		case opFrame:
 			if inFrame {
 				return frames, errors.New("trace: nested frame")
+			}
+			if err := handlerErr(h); err != nil {
+				return frames, err
 			}
 			inFrame = true
 			h.BeginFrame()
@@ -226,8 +274,139 @@ func Replay(r io.Reader, h Handler) (frames int, err error) {
 			inFrame = false
 			frames++
 			h.EndFrame(int64(x))
+			if err := handlerErr(h); err != nil {
+				return frames, err
+			}
+			if maxFrames > 0 && frames >= maxFrames {
+				return frames, nil
+			}
 		default:
 			return frames, fmt.Errorf("trace: unknown opcode %#x", code)
 		}
 	}
+}
+
+// Decoder errors shared by the slice decoder's helpers.
+var (
+	errBadUvarint = errors.New("trace: bad uvarint")
+	errBadVarint  = errors.New("trace: bad varint")
+)
+
+// uvarintAt decodes an unsigned varint at data[i], returning the value
+// and the index past it. Package-level (not a closure) so the compiler
+// can inline it into the decode loop.
+func uvarintAt(data []byte, i int) (uint64, int, error) {
+	x, n := binary.Uvarint(data[i:])
+	if n <= 0 {
+		return 0, i, errBadUvarint
+	}
+	return x, i + n, nil
+}
+
+// varintAt decodes a zigzag varint at data[i].
+func varintAt(data []byte, i int) (int64, int, error) {
+	x, n := binary.Varint(data[i:])
+	if n <= 0 {
+		return 0, i, errBadVarint
+	}
+	return x, i + n, nil
+}
+
+// ReplayBytes decodes an in-memory stream, invoking h for each event. It
+// is the replay path of the parallel sweep engine: every worker decodes
+// the shared shards once per cache configuration, so the decoder indexes
+// the slice directly instead of paying an io.Reader round trip per byte,
+// and the sample loop special-cases single-byte deltas, which dominate
+// coherent rasterization walks. Semantics are identical to Replay,
+// including FailingHandler aborts.
+func ReplayBytes(data []byte, h Handler) (frames int, err error) {
+	if len(data) < len(magic) {
+		return 0, errors.New("trace: short header")
+	}
+	for i, b := range magic {
+		if data[i] != b {
+			return 0, errors.New("trace: bad magic or version")
+		}
+	}
+	var (
+		tid     uint32
+		m       int
+		u, v    int
+		inFrame bool
+	)
+	i := len(magic)
+	for i < len(data) {
+		code := data[i]
+		i++
+		switch code {
+		case opSample:
+			// First (by frequency): decode the two zigzag deltas, with a
+			// fast path for the one-byte encodings coherent walks produce.
+			var du, dv int64
+			if i+1 < len(data) && data[i] < 0x80 && data[i+1] < 0x80 {
+				bu, bv := data[i], data[i+1]
+				du = int64(bu>>1) ^ -int64(bu&1)
+				dv = int64(bv>>1) ^ -int64(bv&1)
+				i += 2
+			} else {
+				var err error
+				if du, i, err = varintAt(data, i); err != nil {
+					return frames, err
+				}
+				if dv, i, err = varintAt(data, i); err != nil {
+					return frames, err
+				}
+			}
+			if !inFrame {
+				return frames, errors.New("trace: sample outside frame")
+			}
+			u += int(du)
+			v += int(dv)
+			h.Texel(tid, u, v, m)
+		case opFrame:
+			if inFrame {
+				return frames, errors.New("trace: nested frame")
+			}
+			if err := handlerErr(h); err != nil {
+				return frames, err
+			}
+			inFrame = true
+			h.BeginFrame()
+		case opTexture:
+			x, j, err := uvarintAt(data, i)
+			if err != nil {
+				return frames, err
+			}
+			i = j
+			tid = uint32(x)
+		case opLevel:
+			x, j, err := uvarintAt(data, i)
+			if err != nil {
+				return frames, err
+			}
+			i = j
+			m = int(x)
+		case opPixels:
+			x, j, err := uvarintAt(data, i)
+			if err != nil {
+				return frames, err
+			}
+			i = j
+			if !inFrame {
+				return frames, errors.New("trace: frame end outside frame")
+			}
+			inFrame = false
+			frames++
+			h.EndFrame(int64(x))
+			if err := handlerErr(h); err != nil {
+				return frames, err
+			}
+		default:
+			return frames, fmt.Errorf("trace: unknown opcode %#x", code)
+		}
+	}
+	if inFrame {
+		return frames, errors.New("trace: truncated inside a frame")
+	}
+	return frames, handlerErr(h)
 }

@@ -264,3 +264,193 @@ func TestWriterPropagatesIOError(t *testing.T) {
 		t.Error("EndFrame misuse not reported")
 	}
 }
+
+func TestCloseMidFrameFlushesCompleteFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(1, 10, 10, 0)
+	w.EndFrame(5)
+	w.BeginFrame()
+	w.Texel(1, 11, 10, 0)
+	w.EndFrame(6)
+	w.BeginFrame() // left open
+	w.Texel(2, 0, 0, 1)
+	err := w.Close()
+	if err == nil {
+		t.Fatal("Close inside a frame not reported")
+	}
+	// Idempotent: a second Close returns the same error, writes nothing.
+	n := buf.Len()
+	if err2 := w.Close(); err2 != err {
+		t.Errorf("second Close = %v, want %v", err2, err)
+	}
+	if buf.Len() != n {
+		t.Error("second Close wrote bytes")
+	}
+	// The flushed prefix still holds the two complete frames: a bounded
+	// replay decodes them cleanly, an unbounded one reports truncation
+	// only after delivering both.
+	var r recorder
+	frames, err := ReplayFrames(bytes.NewReader(buf.Bytes()), &r, 2)
+	if err != nil || frames != 2 {
+		t.Fatalf("bounded replay = (%d, %v), want (2, nil)", frames, err)
+	}
+	if r.pixels[0] != 5 || r.pixels[1] != 6 {
+		t.Errorf("pixels = %v", r.pixels)
+	}
+	var r2 recorder
+	frames, err = Replay(bytes.NewReader(buf.Bytes()), &r2)
+	if err == nil || frames != 2 {
+		t.Errorf("unbounded replay = (%d, %v), want (2, truncation error)", frames, err)
+	}
+}
+
+func TestCloseIdempotentOnSuccess(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(0, 0, 0, 0)
+	w.EndFrame(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+func TestReplayFramesLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for f := 0; f < 5; f++ {
+		w.BeginFrame()
+		w.Texel(0, f, f, 0)
+		w.EndFrame(int64(f))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	var r recorder
+	frames, err := ReplayFrames(bytes.NewReader(data), &r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 3 || len(r.frames) != 3 {
+		t.Fatalf("frames = %d (%d delivered), want 3", frames, len(r.frames))
+	}
+	// A limit at or past the stream end behaves like no limit.
+	var r2 recorder
+	if frames, err = ReplayFrames(bytes.NewReader(data), &r2, 9); err != nil || frames != 5 {
+		t.Errorf("over-limit replay = (%d, %v), want (5, nil)", frames, err)
+	}
+	var r3 recorder
+	if frames, err = ReplayFrames(bytes.NewReader(data), &r3, 0); err != nil || frames != 5 {
+		t.Errorf("unlimited replay = (%d, %v), want (5, nil)", frames, err)
+	}
+}
+
+// latchingHandler fails itself after a fixed number of frames, modelling a
+// handler that validates events against external state.
+type latchingHandler struct {
+	recorder
+	failAfter int
+	err       error
+}
+
+func (h *latchingHandler) EndFrame(pixels int64) {
+	h.recorder.EndFrame(pixels)
+	if len(h.recorder.frames) >= h.failAfter {
+		h.err = errFull
+	}
+}
+
+func (h *latchingHandler) ReplayErr() error { return h.err }
+
+func TestFailingHandlerAbortsReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for f := 0; f < 6; f++ {
+		w.BeginFrame()
+		w.Texel(0, f, 0, 0)
+		w.EndFrame(1)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	h := &latchingHandler{failAfter: 2}
+	frames, err := Replay(bytes.NewReader(data), h)
+	if err != errFull {
+		t.Fatalf("err = %v, want the handler's error", err)
+	}
+	if frames != 2 || len(h.recorder.frames) != 2 {
+		t.Errorf("frames = %d (%d delivered), want 2", frames, len(h.recorder.frames))
+	}
+	hb := &latchingHandler{failAfter: 2}
+	frames, err = ReplayBytes(data, hb)
+	if err != errFull || frames != 2 {
+		t.Errorf("ReplayBytes = (%d, %v), want (2, handler error)", frames, err)
+	}
+}
+
+// TestReplayBytesMatchesReplay drives both decoders over the same streams —
+// valid, truncated, and corrupted — and demands identical frame counts and
+// error outcomes.
+func TestReplayBytesMatchesReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for f := 0; f < 10; f++ {
+		w.BeginFrame()
+		for i := 0; i < 50+rng.Intn(50); i++ {
+			w.Texel(uint32(rng.Intn(20)), rng.Intn(2048), rng.Intn(2048), rng.Intn(11))
+		}
+		w.EndFrame(rng.Int63n(1 << 30))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	inputs := [][]byte{
+		valid,
+		valid[:len(valid)-4],          // truncated mid-frame
+		valid[:3],                     // short header
+		append([]byte("XXTR\x01"), valid[5:]...), // bad magic
+		{},
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] = 0xEE
+	inputs = append(inputs, corrupt)
+
+	for i, data := range inputs {
+		var ra, rb recorder
+		fa, ea := Replay(bytes.NewReader(data), &ra)
+		fb, eb := ReplayBytes(data, &rb)
+		if fa != fb {
+			t.Errorf("input %d: frames %d (reader) vs %d (bytes)", i, fa, fb)
+		}
+		if (ea == nil) != (eb == nil) {
+			t.Errorf("input %d: err %v (reader) vs %v (bytes)", i, ea, eb)
+		}
+		if len(ra.frames) != len(rb.frames) {
+			t.Fatalf("input %d: delivered %d vs %d frames", i, len(ra.frames), len(rb.frames))
+		}
+		for f := range ra.frames {
+			if len(ra.frames[f]) != len(rb.frames[f]) {
+				t.Fatalf("input %d frame %d: %d vs %d events",
+					i, f, len(ra.frames[f]), len(rb.frames[f]))
+			}
+			for j := range ra.frames[f] {
+				if ra.frames[f][j] != rb.frames[f][j] {
+					t.Fatalf("input %d frame %d event %d: %+v vs %+v",
+						i, f, j, ra.frames[f][j], rb.frames[f][j])
+				}
+			}
+		}
+	}
+}
