@@ -1,0 +1,136 @@
+// Command benchjson runs the sweep-engine benchmarks exactly once each
+// and writes a machine-readable BENCH_sweep.json: per-benchmark wall time
+// and allocation counts plus a run manifest, so CI can archive comparable
+// performance artifacts per commit without parsing `go test -bench`
+// output. One iteration is deliberate — the full 13-spec Village sweep is
+// long enough to be a stable single-shot sample in CI, and the artifact
+// records the environment needed to compare runs honestly.
+//
+// Usage:
+//
+//	benchjson            # writes BENCH_sweep.json in the current directory
+//	benchjson -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"texcache/internal/core"
+	"texcache/internal/experiments"
+	"texcache/internal/raster"
+	"texcache/internal/telemetry"
+	"texcache/internal/workload"
+)
+
+// benchResult is one benchmark's single-iteration sample.
+type benchResult struct {
+	Name        string `json:"name"`
+	Parallelism int    `json:"parallelism"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Frames      int    `json:"frames"`
+	Specs       int    `json:"specs"`
+}
+
+// report is the artifact document.
+type report struct {
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Manifest   telemetry.Manifest `json:"manifest"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("o", "BENCH_sweep.json", "output path")
+	flag.Parse()
+
+	scale := experiments.Bench()
+	render := core.Config{
+		Width:  scale.Width,
+		Height: scale.Height,
+		Frames: scale.VillageFrames,
+		Mode:   raster.Trilinear,
+	}
+	specs := experiments.SweepSpecs()
+
+	// Mirror bench_test.go's sweep benchmarks: the serial reference
+	// engine, a bounded 4-worker pool, and the GOMAXPROCS default.
+	cases := []struct {
+		name        string
+		parallelism int
+	}{
+		{"SweepSerial", 1},
+		{"SweepParallel4", 4},
+		{"SweepParallel", 0},
+	}
+
+	clock := telemetry.NewWallClock()
+	rep := report{Manifest: telemetry.NewManifest("benchjson")}
+	rep.Manifest.Workload = "village"
+	rep.Manifest.Frames = render.Frames
+	parts := []string{
+		"village",
+		fmt.Sprintf("%dx%d", render.Width, render.Height),
+		fmt.Sprintf("frames=%d", render.Frames),
+	}
+	for _, s := range specs {
+		rep.Manifest.Specs = append(rep.Manifest.Specs, s.Name)
+		parts = append(parts, "spec="+s.Name)
+	}
+	rep.Manifest.ConfigHash = telemetry.ConfigHash(parts...)
+
+	for _, bc := range cases {
+		cfg := render
+		cfg.Parallelism = bc.parallelism
+
+		// Quiesce the heap so alloc deltas attribute to the run alone.
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := clock.Now()
+		cmp, err := core.RunComparison(workload.Village(), cfg, specs)
+		elapsed := clock.Now() - start
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", bc.name, err)
+			return 1
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:        bc.name,
+			Parallelism: bc.parallelism,
+			NsPerOp:     elapsed,
+			AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+			BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+			Frames:      len(cmp.FramePixels),
+			Specs:       len(cmp.Results),
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %-15s %12d ns/op %12d allocs/op\n",
+			bc.name, elapsed, after.Mallocs-before.Mallocs)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+	return 0
+}

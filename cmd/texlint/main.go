@@ -20,6 +20,12 @@
 //
 //	//texlint:ignore <analyzer> [reason]
 //
+// Package-scoped waivers come from texlint.conf.json at the module root
+// (or the file named by -config): a JSON map of analyzer name to the
+// import paths exempt from it, e.g.
+//
+//	{"allow": {"determinism": ["texcache/internal/telemetry"]}}
+//
 // For adopting a new analyzer over an existing codebase, -write-baseline
 // records the current findings as a JSON file and -baseline suppresses
 // exactly those recorded findings on later runs, so only regressions
@@ -50,6 +56,7 @@ func run() int {
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		baseline  = flag.String("baseline", "", "suppress findings recorded in this JSON baseline file")
 		writeBase = flag.String("write-baseline", "", "record current findings to this JSON baseline file and exit clean")
+		confPath  = flag.String("config", "", "package waiver file (default: "+lint.ConfigFile+" at the module root, if present)")
 	)
 	flag.Parse()
 
@@ -91,7 +98,23 @@ func run() int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, suite)
+	var conf *lint.FileConfig
+	if *confPath != "" {
+		data, err := os.ReadFile(*confPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texlint:", err)
+			return 2
+		}
+		if conf, err = lint.ParseConfig(data); err != nil {
+			fmt.Fprintln(os.Stderr, "texlint:", err)
+			return 2
+		}
+	} else if conf, err = lint.LoadConfig(root); err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		return 2
+	}
+
+	diags := lint.RunConfigured(pkgs, suite, conf)
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].Pos.Filename = rel

@@ -9,26 +9,46 @@
 //	texsim -workload village -l2mb 4 -l2tile 32 -policy lru -zfirst
 //
 // With -sweep the workload is rendered once and the reference stream is
-// replayed through a small cache sweep (pull at the chosen L1 size, plus
-// 2/4/8 MB L2 behind it) on the parallel sweep engine; -parallel bounds
-// the worker pool (0 = GOMAXPROCS, 1 = serial reference engine):
+// replayed through the canonical cache sweep (the same 13 specs the
+// experiment suite uses; -specs selects a comma-separated subset) on the
+// parallel sweep engine; -parallel bounds the worker pool (0 = GOMAXPROCS,
+// 1 = serial reference engine):
 //
-//	texsim -workload city -sweep -parallel 4
+//	texsim -workload city -sweep -parallel 4 -specs pull-2k,l2-2m
+//
+// Telemetry and profiling:
+//
+//	-metrics run.jsonl   stream per-frame counters (JSONL, or CSV via .csv)
+//	-manifest run.json   record config hash, environment, totals and spans
+//	-reuse hist.json     reuse-distance histogram over L2 block addresses
+//	-cpuprofile cpu.pb   CPU profile; -memprofile heap.pb heap profile
+//
+//	texsim -workload village -sweep -metrics run.jsonl -manifest run.json
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"texcache/internal/cache"
 	"texcache/internal/core"
+	"texcache/internal/experiments"
 	"texcache/internal/raster"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 	"texcache/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	wl := flag.String("workload", "village", "village | city | mall")
 	width := flag.Int("width", 512, "screen width")
 	height := flag.Int("height", 384, "screen height")
@@ -42,8 +62,14 @@ func main() {
 	zfirst := flag.Bool("zfirst", false, "depth test before texture access")
 	nosector := flag.Bool("nosector", false, "disable sector mapping")
 	stats := flag.Bool("stats", false, "collect working-set statistics")
-	sweep := flag.Bool("sweep", false, "replay the rendered stream through a cache sweep")
+	sweep := flag.Bool("sweep", false, "replay the rendered stream through the canonical cache sweep")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	specsArg := flag.String("specs", "all", `comma-separated sweep spec names, or "all" (with -sweep)`)
+	metricsPath := flag.String("metrics", "", "write the per-frame metric stream here (.csv = CSV, else JSONL)")
+	manifestPath := flag.String("manifest", "", "write a run manifest (config hash, environment, totals, spans) here")
+	reusePath := flag.String("reuse", "", "write a reuse-distance histogram over L2 block addresses here")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here")
 	flag.Parse()
 
 	var w *workload.Workload
@@ -56,7 +82,7 @@ func main() {
 		w = workload.Mall()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := core.Config{
@@ -74,7 +100,7 @@ func main() {
 		cfg.Mode = raster.Trilinear
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 	if *l2mb > 0 {
 		var pol cache.PolicyKind
@@ -87,7 +113,7 @@ func main() {
 			pol = cache.Random
 		default:
 			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-			os.Exit(2)
+			return 2
 		}
 		cfg.L2 = &cache.L2Config{
 			SizeBytes:       *l2mb << 20,
@@ -99,47 +125,223 @@ func main() {
 	if *stats {
 		cfg.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
 	}
+	cfg.CollectReuse = *reusePath != ""
 
+	var specs []core.CacheSpec
+	if *sweep {
+		var err error
+		if specs, err = selectSpecs(*specsArg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	// Telemetry plumbing: the metric stream goes to -metrics, totals
+	// accumulate for the manifest, and the manifest run gets a wall-clock
+	// tracer whose spans ride along as sidecar data.
+	var totals telemetry.Totals
+	emitters := []telemetry.Emitter{&totals}
+	var flushMetrics func() error
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		bw := bufio.NewWriter(f)
+		var sink telemetry.Emitter
+		var sinkErr func() error
+		if strings.HasSuffix(*metricsPath, ".csv") {
+			s := telemetry.NewCSV(bw)
+			sink, sinkErr = s, s.Err
+		} else {
+			s := telemetry.NewJSONL(bw)
+			sink, sinkErr = s, s.Err
+		}
+		emitters = append(emitters, sink)
+		flushMetrics = func() error {
+			if err := sinkErr(); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				_ = f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	cfg.Metrics = telemetry.Tee(emitters...)
+	if *manifestPath != "" {
+		cfg.Tracer = telemetry.NewTracer(telemetry.NewWallClock())
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			_ = f.Close()
+		}()
+	}
+
+	var reuse *telemetry.ReuseHistogram
+	simFrames := 0
 	if *sweep {
 		cfg.Parallelism = *parallel
-		if err := runSweep(w, cfg); err != nil {
+		cmp, err := core.RunComparison(w, cfg, specs)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		reportSweep(w, cfg, specs, cmp)
+		reuse = cmp.Reuse
+		simFrames = len(cmp.FramePixels)
+	} else {
+		res, err := core.Run(w, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		report(w, cfg, res)
+		reuse = res.Reuse
+		simFrames = len(res.Frames)
 	}
 
-	res, err := core.Run(w, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if flushMetrics != nil {
+		if err := flushMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "texsim: writing metrics:", err)
+			return 1
+		}
 	}
-	report(w, cfg, res)
+	if *reusePath != "" {
+		if err := writeReuse(*reusePath, reuse); err != nil {
+			fmt.Fprintln(os.Stderr, "texsim: writing reuse histogram:", err)
+			return 1
+		}
+	}
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, w, cfg, specs, *sweep, simFrames, totals.T); err != nil {
+			fmt.Fprintln(os.Stderr, "texsim: writing manifest:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
-// runSweep renders the workload once and replays the reference stream
-// through the pull architecture at the chosen L1 size plus 2/4/8 MB L2
-// configurations, printing one compact row per spec.
-func runSweep(w *workload.Workload, cfg core.Config) error {
-	specs := []core.CacheSpec{
-		{Name: fmt.Sprintf("pull-%dk", cfg.L1Bytes/1024), L1Bytes: cfg.L1Bytes},
+// selectSpecs resolves the -specs argument against the canonical sweep.
+// An empty or unknown name is a usage error naming every valid spec, so a
+// typo cannot silently sweep nothing.
+func selectSpecs(arg string) ([]core.CacheSpec, error) {
+	all := experiments.SweepSpecs()
+	if strings.TrimSpace(arg) == "all" {
+		return all, nil
 	}
-	for _, mb := range []int{2, 4, 8} {
-		specs = append(specs, core.CacheSpec{
-			Name:    fmt.Sprintf("l2-%dm", mb),
-			L1Bytes: cfg.L1Bytes,
-			L2: &cache.L2Config{
-				SizeBytes: mb << 20,
-				Layout:    texture.TileLayout{L2Size: 16, L1Size: 4},
-				Policy:    cache.Clock,
-			},
-			TLBEntries: cfg.TLBEntries,
-		})
+	valid := make([]string, 0, len(all))
+	byName := make(map[string]core.CacheSpec, len(all))
+	for _, s := range all {
+		valid = append(valid, s.Name)
+		byName[s.Name] = s
 	}
-	cmp, err := core.RunComparison(w, cfg, specs)
+	var specs []core.CacheSpec
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("texsim: unknown sweep spec %q; valid specs: %s",
+				name, strings.Join(valid, ", "))
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("texsim: -specs selected no sweep specs; valid specs: %s",
+			strings.Join(valid, ", "))
+	}
+	return specs, nil
+}
+
+// writeReuse writes the reuse-distance histogram artifact.
+func writeReuse(path string, h *telemetry.ReuseHistogram) error {
+	if h == nil {
+		return fmt.Errorf("no histogram collected")
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	if err := h.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeManifest records the run's identity: configuration fingerprint,
+// environment, spec list, stream totals and any recorded phase spans.
+func writeManifest(path string, w *workload.Workload, cfg core.Config,
+	specs []core.CacheSpec, sweep bool, frames int, totals telemetry.RunTotals) error {
+	tool := "texsim"
+	parts := []string{
+		w.Name,
+		fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+		fmt.Sprintf("frames=%d", frames),
+		fmt.Sprintf("mode=%v", cfg.Mode),
+		fmt.Sprintf("l1=%d", cfg.L1Bytes),
+		fmt.Sprintf("tlb=%d", cfg.TLBEntries),
+		fmt.Sprintf("zfirst=%v", cfg.ZBeforeTexture),
+	}
+	if cfg.L2 != nil {
+		parts = append(parts, fmt.Sprintf("l2=%d/%d/%v/nosector=%v",
+			cfg.L2.SizeBytes, cfg.L2.Layout.L2Size, cfg.L2.Policy, cfg.L2.NoSectorMapping))
+	}
+	m := telemetry.NewManifest(tool)
+	if sweep {
+		m.Tool = "texsim -sweep"
+		for _, s := range specs {
+			m.Specs = append(m.Specs, s.Name)
+			parts = append(parts, "spec="+s.Name)
+		}
+	}
+	m.ConfigHash = telemetry.ConfigHash(parts...)
+	m.Workload = w.Name
+	m.Frames = frames
+	m.Totals = totals
+	m.Spans = cfg.Tracer.Spans()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reportSweep prints one compact row per replayed spec.
+func reportSweep(w *workload.Workload, cfg core.Config, specs []core.CacheSpec, cmp *core.Comparison) {
 	fmt.Printf("workload %s: %d frames at %dx%d (%v)\n",
 		w.Name, len(cmp.Results[0].Frames), cfg.Width, cfg.Height, cfg.Mode)
 	fmt.Printf("%-10s %10s %10s %10s %14s\n",
@@ -158,7 +360,6 @@ func runSweep(w *workload.Workload, cfg core.Config) error {
 		fmt.Printf("%-10s %9.2f%% %10s %10s %14.3f\n",
 			spec.Name, 100*t.L1.HitRate(), l2, tlb, res.AvgHostMBPerFrame())
 	}
-	return nil
 }
 
 func report(w *workload.Workload, cfg core.Config, res *core.Results) {

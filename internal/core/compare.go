@@ -7,6 +7,7 @@ import (
 	"texcache/internal/raster"
 	"texcache/internal/scene"
 	"texcache/internal/stats"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 	"texcache/internal/workload"
 )
@@ -27,11 +28,18 @@ type CacheSpec struct {
 type Comparison struct {
 	Workload string
 	Render   Config
+	// Specs holds the spec names, parallel to Results; metric records
+	// carry these as their spec label.
+	Specs []string
 	// Results is parallel to the specs passed to RunComparison; the
 	// Config field of each Results reflects its spec.
 	Results []*Results
 	// Pixels per frame (shared across specs — same stream).
 	FramePixels []int64
+	// Reuse is the rendered stream's stack-distance histogram when
+	// render.CollectReuse was set; the stream is shared across specs, so
+	// the comparison carries one histogram, not one per spec.
+	Reuse *telemetry.ReuseHistogram
 }
 
 // layoutXlate caches per-texture address translation for one L2 layout.
@@ -57,6 +65,7 @@ type multiSink struct {
 	layouts []*layoutXlate
 	specs   []specState
 	collect *stats.Collector
+	reuse   *reuseProbe
 }
 
 func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
@@ -82,6 +91,9 @@ func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
 	}
 	if s.collect != nil {
 		s.collect.Texel(tid, u, v, m)
+	}
+	if s.reuse != nil {
+		s.reuse.Texel(tid, u, v, m)
 	}
 }
 
@@ -176,6 +188,7 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 			}
 		}
 		sink.specs = append(sink.specs, specState{hier: hier, layoutIdx: layoutIdx})
+		cmp.Specs = append(cmp.Specs, spec.Name)
 		cmp.Results = append(cmp.Results, &Results{
 			Workload: w.Name, Config: specConfig(render, spec),
 		})
@@ -187,6 +200,9 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 			return nil, err
 		}
 		sink.collect = collect
+	}
+	if render.CollectReuse {
+		sink.reuse = newReuseProbe(set)
 	}
 
 	rast, err := raster.New(raster.Config{
@@ -225,6 +241,11 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 				fr.Stats = sf
 			}
 			prev[i] = cur
+			// Streamed spec-minor within the frame: this loop defines the
+			// canonical metric order every other engine must reproduce.
+			if render.Metrics != nil {
+				render.Metrics.Frame(metricsFrame(w.Name, cmp.Specs[i], f, &fr))
+			}
 			cmp.Results[i].Frames = append(cmp.Results[i].Frames, fr)
 		}
 	}
@@ -236,5 +257,6 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 			int64(render.Width)*int64(render.Height))
 		cmp.Results[0].Summary = &sum
 	}
+	cmp.Reuse = sink.reuse.histogram()
 	return cmp, nil
 }

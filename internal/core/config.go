@@ -15,6 +15,7 @@ import (
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 )
 
@@ -54,6 +55,21 @@ type Config struct {
 	// setting; the knob trades memory (the in-memory trace, roughly 2-3
 	// bytes per texel reference) for wall-clock. Negative is invalid.
 	Parallelism int
+	// Metrics, when non-nil, receives one telemetry record per simulated
+	// frame (and per cache spec in comparison runs) in a deterministic
+	// frame-major, spec-minor order that is identical at every
+	// Parallelism setting. Emission happens outside the per-texel hot
+	// path; a nil Metrics costs nothing.
+	Metrics telemetry.Emitter
+	// Tracer, when non-nil, records phase spans (render, encode,
+	// shard-publish, replay-per-spec, assemble) of the parallel sweep
+	// engine. Span timings are observational sidecar data and never feed
+	// back into simulation output.
+	Tracer *telemetry.Tracer
+	// CollectReuse enables the reuse-distance probe: an LRU stack
+	// distance histogram over L2 block addresses of the rendered
+	// reference stream, attached to Results.Reuse / Comparison.Reuse.
+	CollectReuse bool
 }
 
 // Validate checks the configuration.

@@ -7,6 +7,7 @@ import (
 	"texcache/internal/raster"
 	"texcache/internal/scene"
 	"texcache/internal/stats"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 	"texcache/internal/workload"
 )
@@ -32,6 +33,9 @@ type Results struct {
 	Totals cache.Counters
 	// Summary aggregates working-set statistics when enabled.
 	Summary *stats.Summary
+	// Reuse is the reference stream's stack-distance histogram when
+	// Config.CollectReuse was set.
+	Reuse *telemetry.ReuseHistogram
 }
 
 // AvgHostMBPerFrame returns the mean host (AGP/system memory) download
@@ -51,6 +55,7 @@ type addrSink struct {
 	l2start []uint32
 	h       *cache.Hierarchy
 	collect *stats.Collector // optional
+	reuse   *reuseProbe      // optional; concrete pointer keeps dispatch static
 }
 
 // Texel is invoked once per texel reference — hundreds of millions of
@@ -71,6 +76,9 @@ func (s *addrSink) Texel(tid texture.ID, u, v, m int) {
 	s.h.Access(ref)
 	if s.collect != nil {
 		s.collect.Texel(tid, u, v, m)
+	}
+	if s.reuse != nil {
+		s.reuse.Texel(tid, u, v, m)
 	}
 }
 
@@ -116,6 +124,9 @@ func NewSimulator(w *workload.Workload, cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 		sink.collect = collect
+	}
+	if cfg.CollectReuse {
+		sink.reuse = newReuseProbe(set)
 	}
 	rast.SetSink(sink)
 
@@ -197,6 +208,9 @@ func (s *Simulator) Run() (*Results, error) {
 		cur := s.hier.Counters()
 		fr.Counters = cur.Sub(prev)
 		prev = cur
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Frame(metricsFrame(res.Workload, "", f, &fr))
+		}
 		res.Frames = append(res.Frames, fr)
 	}
 	res.Totals = prev
@@ -204,6 +218,7 @@ func (s *Simulator) Run() (*Results, error) {
 		sum := stats.Summarize(s.collect.Frames(), int64(s.cfg.Width)*int64(s.cfg.Height))
 		res.Summary = &sum
 	}
+	res.Reuse = s.sink.reuse.histogram()
 	return res, nil
 }
 

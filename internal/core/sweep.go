@@ -23,6 +23,7 @@ import (
 	"texcache/internal/raster"
 	"texcache/internal/scene"
 	"texcache/internal/stats"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 	"texcache/internal/trace"
 	"texcache/internal/workload"
@@ -86,8 +87,12 @@ func (rt *renderedTrace) abort(from int) {
 // render renders every frame of the workload under render's resolution,
 // frame count and filter, encoding the reference stream into one shard
 // per frame — published to the replay workers as soon as it is complete —
-// and feeding the optional working-set collector.
-func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *stats.Collector) error {
+// and feeding the optional working-set collector and reuse probe. When
+// render.Tracer is set, the pass records a "render" span with nested
+// per-frame "encode" and "shard-publish" spans.
+func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *stats.Collector, reuse *reuseProbe) error {
+	sp := render.Tracer.Start("render")
+	defer sp.End()
 	rast, err := raster.New(raster.Config{
 		Width: render.Width, Height: render.Height,
 		Mode:           render.Mode,
@@ -103,6 +108,9 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		if collect != nil {
 			collect.Texel(tid, u, v, m)
 		}
+		if reuse != nil {
+			reuse.Texel(tid, u, v, m)
+		}
 	}))
 	pipeline := scene.NewPipeline(rast)
 	aspect := float64(render.Width) / float64(render.Height)
@@ -111,6 +119,7 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 	}
 
 	for f := 0; f < render.Frames; f++ {
+		enc := render.Tracer.Start("encode")
 		var buf shardBuffer
 		tw = trace.NewWriter(&buf)
 		tw.BeginFrame()
@@ -120,9 +129,12 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		pst := pipeline.RenderFrame(w.Scene, w.Camera(aspect, f, render.Frames))
 		tw.EndFrame(rast.Pixels())
 		if err := tw.Close(); err != nil {
+			enc.End()
 			rt.abort(f)
 			return fmt.Errorf("core: sweep: encoding frame %d: %w", f, err)
 		}
+		enc.End()
+		pub := render.Tracer.Start("shard-publish")
 		rt.pipeline[f] = pst
 		rt.pixels[f] = rast.Pixels()
 		if collect != nil {
@@ -131,6 +143,7 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		}
 		rt.shards[f] = buf.data
 		close(rt.ready[f])
+		pub.End()
 	}
 	return nil
 }
@@ -177,8 +190,11 @@ func (h *sweepHandler) EndFrame(pixels int64) {
 // replaySpec drives one spec's pre-built hierarchy through every shard in
 // frame order, blocking on shards the render pass has not published yet.
 // Each worker owns its hierarchy and sink; nothing here is shared with
-// other workers except the read-only shards.
-func replaySpec(rt *renderedTrace, hier *cache.Hierarchy, sink *addrSink, res *Results) error {
+// other workers except the read-only shards and the mutex-protected
+// tracer, which records one "replay:<spec>" span per worker.
+func replaySpec(rt *renderedTrace, hier *cache.Hierarchy, sink *addrSink, res *Results, tracer *telemetry.Tracer, spec string) error {
+	sp := tracer.Start("replay:" + spec)
+	defer sp.End()
 	h := &sweepHandler{sink: sink, hier: hier, res: res}
 	for f := range rt.shards {
 		<-rt.ready[f]
@@ -222,6 +238,7 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		}
 		hiers[i] = hier
 		sinks[i] = sink
+		cmp.Specs = append(cmp.Specs, spec.Name)
 		cmp.Results = append(cmp.Results, &Results{Workload: w.Name, Config: cfg})
 	}
 
@@ -232,6 +249,10 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		if err != nil {
 			return nil, err
 		}
+	}
+	var reuse *reuseProbe
+	if render.CollectReuse {
+		reuse = newReuseProbe(set)
 	}
 
 	rt := newRenderedTrace(render.Frames)
@@ -248,11 +269,12 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = replaySpec(rt, hiers[i], sinks[i], cmp.Results[i])
+			errs[i] = replaySpec(rt, hiers[i], sinks[i], cmp.Results[i],
+				render.Tracer, specs[i].Name)
 		}(i)
 	}
 
-	renderErr := rt.render(w, render, collect)
+	renderErr := rt.render(w, render, collect, reuse)
 	wg.Wait()
 	if renderErr != nil {
 		return nil, renderErr
@@ -265,6 +287,8 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 
 	// Workers account pixels and counters from the stream; the geometry
 	// pipeline statistics come from the render pass.
+	asm := render.Tracer.Start("assemble")
+	defer asm.End()
 	for _, res := range cmp.Results {
 		for f := range res.Frames {
 			res.Frames[f].Pipeline = rt.pipeline[f]
@@ -281,5 +305,10 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 			int64(render.Width)*int64(render.Height))
 		cmp.Results[0].Summary = &sum
 	}
+	cmp.Reuse = reuse.histogram()
+	// The workers each filled their own Results slot — those are the
+	// per-worker metric buffers. Replaying them frame-major, spec-minor
+	// reproduces the serial engine's streamed order byte for byte.
+	EmitComparisonMetrics(render.Metrics, cmp)
 	return cmp, nil
 }

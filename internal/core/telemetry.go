@@ -1,0 +1,117 @@
+// Simulator-side telemetry wiring: mapping per-frame cache counters onto
+// the texscope metric stream, and the reuse-distance probe that taps the
+// texel reference stream on the hot path. The layering rule is one-way:
+// the simulator feeds telemetry, telemetry never feeds the simulator, so
+// enabling any of it cannot perturb simulation results.
+package core
+
+import (
+	"texcache/internal/telemetry"
+	"texcache/internal/texture"
+)
+
+// metricsFrame flattens one frame's results into a metric record.
+func metricsFrame(workload, spec string, frame int, fr *FrameResult) telemetry.FrameMetrics {
+	c := &fr.Counters
+	return telemetry.FrameMetrics{
+		Workload:      workload,
+		Spec:          spec,
+		Frame:         frame,
+		Pixels:        fr.Pixels,
+		L1Accesses:    c.L1.Accesses,
+		L1Misses:      c.L1.Misses,
+		L2FullHits:    c.L2.FullHits,
+		L2PartialHits: c.L2.PartialHits,
+		L2FullMisses:  c.L2.FullMisses,
+		L2Evictions:   c.L2.Evictions,
+		L2SearchSteps: c.L2.SearchSteps,
+		L2MaxSearch:   c.L2.MaxSearch,
+		TLBLookups:    c.TLB.Lookups,
+		TLBHits:       c.TLB.Hits,
+		HostBytes:     c.HostBytes,
+		L2ReadBytes:   c.L2ReadBytes,
+		L2WriteBytes:  c.L2WriteBytes,
+	}
+}
+
+// EmitMetrics replays a completed run's per-frame counters into e under
+// the given spec label. It is how memoized or deferred results (the
+// experiment runner caches Results across experiments) reach a metric
+// stream after the fact; a nil emitter is a no-op.
+func EmitMetrics(e telemetry.Emitter, res *Results, spec string) {
+	if e == nil || res == nil {
+		return
+	}
+	for f := range res.Frames {
+		e.Frame(metricsFrame(res.Workload, spec, f, &res.Frames[f]))
+	}
+}
+
+// EmitComparisonMetrics replays a completed comparison into e in the
+// canonical stream order: frame-major, spec-minor — the order the serial
+// engine streams records in while running, which makes emitted output
+// byte-identical no matter which engine produced the comparison.
+func EmitComparisonMetrics(e telemetry.Emitter, cmp *Comparison) {
+	if e == nil || cmp == nil {
+		return
+	}
+	for f := 0; f < len(cmp.FramePixels); f++ {
+		for i, res := range cmp.Results {
+			if f >= len(res.Frames) {
+				continue
+			}
+			e.Frame(metricsFrame(cmp.Workload, cmp.Specs[i], f, &res.Frames[f]))
+		}
+	}
+}
+
+// reuseLayout is the fixed measurement granularity of the reuse-distance
+// probe: the paper's canonical 16x16-texel L2 blocks. The probe measures
+// locality of the reference stream itself, independent of whichever cache
+// configurations are being swept, so one granularity serves every run.
+func reuseLayout() texture.TileLayout {
+	return texture.TileLayout{L2Size: 16, L1Size: 4}
+}
+
+// reuseProbe taps the texel reference stream, translating each reference
+// to its global L2 block address and feeding the stack-distance
+// collector. It rides the rasterizer hot path behind a concrete-pointer
+// nil check, so runs without CollectReuse pay one predictable branch.
+type reuseProbe struct {
+	tilings []*texture.Tiling
+	starts  []uint32
+	c       *telemetry.ReuseCollector
+}
+
+// newReuseProbe sizes a probe for the texture set's page table under the
+// canonical layout.
+func newReuseProbe(set *texture.Set) *reuseProbe {
+	layout := reuseLayout()
+	set.MustPrepare(layout)
+	starts := make([]uint32, set.Len())
+	for i := range starts {
+		starts[i] = set.Start(layout, texture.ID(i))
+	}
+	return &reuseProbe{
+		tilings: set.Tilings(layout),
+		starts:  starts,
+		c:       telemetry.NewReuseCollector(int(set.PageTableEntries(layout))),
+	}
+}
+
+// Texel records one reference's L2 block address.
+//
+// texlint:hotpath
+func (p *reuseProbe) Texel(tid texture.ID, u, v, m int) {
+	a := p.tilings[tid].Addr(u, v, m)
+	p.c.Access(p.starts[tid] + a.L2)
+}
+
+// histogram snapshots the probe, nil-safe for runs without one.
+func (p *reuseProbe) histogram() *telemetry.ReuseHistogram {
+	if p == nil {
+		return nil
+	}
+	h := p.c.Histogram()
+	return &h
+}

@@ -15,6 +15,7 @@ import (
 	"texcache/internal/cache"
 	"texcache/internal/core"
 	"texcache/internal/raster"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 	"texcache/internal/workload"
 )
@@ -53,6 +54,14 @@ type Context struct {
 	// engine, higher values the render-once/replay-many worker pool.
 	// Results are identical at every setting.
 	Parallelism int
+	// Metrics, when non-nil, receives every memoized run's per-frame
+	// records. Emission happens at memoization time — once per underlying
+	// simulation, never per experiment that reads it — so the stream is a
+	// function of which runs were computed, in deterministic order even
+	// when Prefetch computed them concurrently (its merge loop emits in
+	// job order). Sweep records carry "workload/filter" as the workload
+	// label, matching the memoization key.
+	Metrics telemetry.Emitter
 
 	workloads map[string]*workload.Workload
 	statsRuns map[string]*core.Results
@@ -131,7 +140,29 @@ func (c *Context) statsRun(name string) (*core.Results, error) {
 		return nil, err
 	}
 	c.statsRuns[name] = r
+	core.EmitMetrics(c.Metrics, r, "")
 	return r, nil
+}
+
+// relabel rewrites the workload label of a metric stream to the memo key
+// ("workload/filter"), so sweeps of the same workload under different
+// filters stay distinguishable in one stream.
+type relabel struct {
+	e   telemetry.Emitter
+	key string
+}
+
+func (r relabel) Frame(m telemetry.FrameMetrics) {
+	m.Workload = r.key
+	r.e.Frame(m)
+}
+
+// emitSweep emits a memoized sweep's metric stream under its memo key.
+func (c *Context) emitSweep(key string, cmp *core.Comparison) {
+	if c.Metrics == nil {
+		return
+	}
+	core.EmitComparisonMetrics(relabel{e: c.Metrics, key: key}, cmp)
 }
 
 // l2Layout16 is the L2 tile size the cache studies fix (16x16).
@@ -190,6 +221,7 @@ func (c *Context) sweep(name string, mode raster.SampleMode) (*core.Comparison, 
 		return nil, err
 	}
 	c.cmpRuns[key] = cmp
+	c.emitSweep(key, cmp)
 	return cmp, nil
 }
 

@@ -90,10 +90,16 @@ func (c *Context) Prefetch(parallel int) error {
 			}
 			continue
 		}
+		// Emission rides the merge, not the workers: the isolated
+		// contexts carry no emitter, so each prefetched run reaches the
+		// metric stream exactly once, here, in job order.
 		if job.mode == nil {
 			c.statsRuns[job.name] = res.stats
+			core.EmitMetrics(c.Metrics, res.stats, "")
 		} else {
-			c.cmpRuns[fmt.Sprintf("%s/%s", job.name, *job.mode)] = res.sweep
+			key := fmt.Sprintf("%s/%s", job.name, *job.mode)
+			c.cmpRuns[key] = res.sweep
+			c.emitSweep(key, res.sweep)
 		}
 		if _, ok := c.workloads[job.name]; !ok && res.wl != nil {
 			c.workloads[job.name] = res.wl

@@ -1,0 +1,70 @@
+// Package-scoped analyzer waivers. Ignore directives waive single lines;
+// some privileges are architectural and belong to a whole package — the
+// telemetry package is the module's one sanctioned wall-clock reader, for
+// example. Those waivers live in texlint.conf.json at the module root so
+// they are reviewed like code, instead of accreting as per-line comments.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ConfigFile is the name of the waiver file at the module root.
+const ConfigFile = "texlint.conf.json"
+
+// FileConfig is the parsed texlint.conf.json.
+type FileConfig struct {
+	// Allow maps analyzer name -> import paths of packages exempt from
+	// it. An entry waives the analyzer for those packages only; every
+	// other package is still checked.
+	Allow map[string][]string `json:"allow"`
+}
+
+// ParseConfig decodes and validates waiver JSON. Unknown analyzer names
+// are rejected so a typo cannot silently waive nothing.
+func ParseConfig(data []byte) (*FileConfig, error) {
+	var cfg FileConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", ConfigFile, err)
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for name := range cfg.Allow {
+		if !known[name] {
+			return nil, fmt.Errorf("lint: %s allows unknown analyzer %q", ConfigFile, name)
+		}
+	}
+	return &cfg, nil
+}
+
+// LoadConfig reads the waiver file from the module root. A missing file
+// is not an error: it yields a nil config, which allows nothing.
+func LoadConfig(root string) (*FileConfig, error) {
+	data, err := os.ReadFile(filepath.Join(root, ConfigFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseConfig(data)
+}
+
+// Allows reports whether the config waives the analyzer for the package.
+// A nil config allows nothing.
+func (c *FileConfig) Allows(analyzer, pkgPath string) bool {
+	if c == nil {
+		return false
+	}
+	for _, p := range c.Allow[analyzer] {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}

@@ -177,12 +177,22 @@ func ByName(names []string) ([]*Analyzer, error) {
 
 // Run applies the analyzers to every package, filters findings through
 // //texlint:ignore directives, and returns the remainder sorted by file,
-// line and analyzer.
+// line and analyzer. It applies no package waivers; see RunConfigured.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunConfigured(pkgs, analyzers, nil)
+}
+
+// RunConfigured is Run with a waiver config: analyzer x package pairs the
+// config allows are skipped entirely, so an allowlisted package neither
+// reports findings nor needs ignore comments for that analyzer.
+func RunConfigured(pkgs []*Package, analyzers []*Analyzer, cfg *FileConfig) []Diagnostic {
 	facts := CollectFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if cfg.Allows(a.Name, pkg.Path) {
+				continue
+			}
 			pass := &Pass{Pkg: pkg, Facts: facts, analyzer: a, out: &diags}
 			a.Run(pass)
 		}

@@ -8,7 +8,8 @@ import (
 // regression anywhere in the repository — a dropped error, a wall-clock
 // read, a narrowed counter, an unprefixed panic, an allocation on a
 // texlint:hotpath function — fails `go test ./...` without needing the
-// texlint CLI to be wired into the build.
+// texlint CLI to be wired into the build. The module's checked-in waiver
+// config applies, exactly as the CLI applies it.
 func TestRepositoryIsClean(t *testing.T) {
 	root, err := ModuleRoot(".")
 	if err != nil {
@@ -21,7 +22,11 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; the module loader is missing sources", len(pkgs))
 	}
-	for _, d := range Run(pkgs, All()) {
+	cfg, err := LoadConfig(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunConfigured(pkgs, All(), cfg) {
 		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,233 @@
+// Reuse-distance (LRU stack distance) histograms over L2 block
+// addresses. The distance of a reference is the number of *distinct*
+// other blocks touched since the previous reference to the same block;
+// a fully-associative LRU cache of N blocks hits exactly the references
+// with distance < N, so the histogram is the canonical trace-derived
+// locality signal: it predicts hit rate as a function of capacity from
+// one pass over the stream (Ling et al., "Fast Modeling L2 Cache Reuse
+// Distance Histograms", and Mattson's original stack algorithm).
+//
+// The collector is the classical O(log n) tree formulation: a Fenwick
+// tree over time slots counts the still-live (most recent) reference of
+// each block, so the distance of a re-reference is one prefix-sum query.
+// Slots are recycled by compaction when the slot array fills, which
+// keeps the structure allocation-free after construction — a hard
+// requirement, because Access sits on the simulator's per-texel hot
+// path (texsim:hot, enforced by the hotalloc analyzer).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// reuseBuckets is the number of log2 histogram buckets: bucket 0 counts
+// distance 0, bucket b >= 1 counts distances in [2^(b-1), 2^b). 2^32
+// distinct blocks is far beyond any simulated texture set.
+const reuseBuckets = 34
+
+// ReuseCollector measures stack distances over a dense address space
+// [0, numAddrs). Construct with NewReuseCollector; Access is the hot
+// path and performs no allocation.
+type ReuseCollector struct {
+	// last maps address -> its live time slot, -1 when never referenced.
+	last []int32
+	// slotAddr maps time slot -> address, -1 when the slot is stale.
+	slotAddr []int32
+	// tree is a Fenwick tree (1-based) over slots: tree position s+1
+	// carries 1 when slot s is live.
+	tree []int64
+	// next is the next unused time slot; live counts live slots.
+	next int
+	live int64
+	cold int64
+	hist [reuseBuckets]int64
+	refs int64
+}
+
+// NewReuseCollector sizes the collector for addresses in [0, numAddrs).
+// The slot array is twice the address space, so compaction (which keeps
+// only the live slot per address) always reclaims at least half of it.
+func NewReuseCollector(numAddrs int) *ReuseCollector {
+	if numAddrs <= 0 {
+		panic("telemetry: reuse collector needs a positive address space")
+	}
+	slots := 2 * numAddrs
+	if slots < 16 {
+		slots = 16
+	}
+	c := &ReuseCollector{
+		last:     make([]int32, numAddrs),
+		slotAddr: make([]int32, slots),
+		tree:     make([]int64, slots+1),
+	}
+	for i := range c.last {
+		c.last[i] = -1
+	}
+	for i := range c.slotAddr {
+		c.slotAddr[i] = -1
+	}
+	return c
+}
+
+// Access records one reference to addr. It is invoked once per texel
+// reference on instrumented runs and must stay free of allocation and
+// formatting.
+//
+// texsim:hot
+func (c *ReuseCollector) Access(addr uint32) {
+	c.accessDist(addr)
+}
+
+// accessDist is Access returning the observed distance (-1 for a cold
+// first reference), shared with the white-box tests and fuzzers.
+func (c *ReuseCollector) accessDist(addr uint32) int64 {
+	c.refs++
+	d := int64(-1)
+	if p := c.last[addr]; p < 0 {
+		c.cold++
+	} else {
+		// Live slots strictly after p are exactly the distinct blocks
+		// referenced since addr's previous reference.
+		d = c.live - c.prefix(int(p)+1)
+		c.hist[reuseBucket(d)]++
+		c.add(int(p)+1, -1)
+		c.slotAddr[p] = -1
+		c.live--
+	}
+	if c.next == len(c.slotAddr) {
+		c.compact()
+	}
+	s := c.next
+	c.next++
+	c.slotAddr[s] = int32(addr)
+	c.last[addr] = int32(s)
+	c.add(s+1, 1)
+	c.live++
+	return d
+}
+
+// compact reassigns the live slots to the front of the slot array in
+// recency order and rebuilds the tree, all in place: live <= numAddrs
+// <= len(slotAddr)/2, so at least half the array is reclaimed.
+func (c *ReuseCollector) compact() {
+	n := 0
+	for s := 0; s < c.next; s++ {
+		a := c.slotAddr[s]
+		if a < 0 {
+			continue
+		}
+		c.slotAddr[s] = -1
+		c.slotAddr[n] = a
+		c.last[a] = int32(n)
+		n++
+	}
+	c.next = n
+	for i := range c.tree {
+		c.tree[i] = 0
+	}
+	for s := 0; s < n; s++ {
+		c.add(s+1, 1)
+	}
+}
+
+// add applies a Fenwick point update at 1-based index i.
+func (c *ReuseCollector) add(i int, v int64) {
+	for ; i < len(c.tree); i += i & -i {
+		c.tree[i] += v
+	}
+}
+
+// prefix returns the count of live slots with slot index < i.
+func (c *ReuseCollector) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & -i {
+		s += c.tree[i]
+	}
+	return s
+}
+
+// reuseBucket maps a distance to its log2 bucket.
+func reuseBucket(d int64) int {
+	b := bits.Len64(uint64(d))
+	if b >= reuseBuckets {
+		b = reuseBuckets - 1
+	}
+	return b
+}
+
+// ReuseBucket is one non-empty histogram bucket covering distances in
+// [Lo, Hi].
+type ReuseBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// ReuseHistogram is the collector's output artifact.
+type ReuseHistogram struct {
+	// Accesses is the total references observed; Cold the first-touch
+	// references (infinite distance). Accesses - Cold re-references are
+	// distributed over Buckets.
+	Accesses int64         `json:"accesses"`
+	Cold     int64         `json:"cold"`
+	Buckets  []ReuseBucket `json:"buckets"`
+}
+
+// Histogram snapshots the collector. Buckets are ascending and omit
+// empty ranges.
+func (c *ReuseCollector) Histogram() ReuseHistogram {
+	h := ReuseHistogram{Accesses: c.refs, Cold: c.cold}
+	for b, n := range c.hist {
+		if n == 0 {
+			continue
+		}
+		lo, hi := int64(0), int64(0)
+		if b > 0 {
+			lo = int64(1) << (b - 1)
+			hi = int64(1)<<b - 1
+		}
+		h.Buckets = append(h.Buckets, ReuseBucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return h
+}
+
+// HitRate returns the fraction of all references a fully-associative
+// LRU cache of the given block count would hit (cold misses count
+// against it). It answers "how big must the L2 be" directly from the
+// histogram, conservatively attributing a partially covered bucket's
+// references to misses.
+func (h ReuseHistogram) HitRate(blocks int64) float64 {
+	if h.Accesses == 0 {
+		return 0
+	}
+	var hits int64
+	for _, b := range h.Buckets {
+		if b.Hi < blocks {
+			hits += b.Count
+		}
+	}
+	return float64(hits) / float64(h.Accesses)
+}
+
+// WriteJSON writes the histogram as a single JSON document with a fixed
+// field order.
+func (h ReuseHistogram) WriteJSON(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "{\n  \"accesses\": %d,\n  \"cold\": %d,\n  \"buckets\": [",
+		h.Accesses, h.Cold); err != nil {
+		return err
+	}
+	for i, b := range h.Buckets {
+		sep := ","
+		if i == len(h.Buckets)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "\n    {\"lo\": %d, \"hi\": %d, \"count\": %d}%s",
+			b.Lo, b.Hi, b.Count, sep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n  ]\n}\n")
+	return err
+}

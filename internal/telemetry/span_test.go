@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerNesting(t *testing.T) {
+	clock := &FakeClock{Step: 10}
+	tr := NewTracer(clock)
+	outer := tr.Start("render") // t=0
+	inner := tr.Start("encode") // t=10
+	inner.End()                 // t=20
+	clock.Advance(5)
+	outer.End() // t=35
+
+	want := []Span{
+		{Name: "render", Depth: 0, Start: 0, Dur: 35},
+		{Name: "encode", Depth: 1, Start: 10, Dur: 10},
+	}
+	if got := tr.Spans(); !reflect.DeepEqual(got, want) {
+		t.Errorf("spans = %+v, want %+v", got, want)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("anything")
+	s.End() // must not panic
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer spans = %+v, want nil", got)
+	}
+}
+
+func TestTracerRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracer(nil) did not panic")
+		}
+	}()
+	NewTracer(nil)
+}
+
+func TestTracerSpansSorted(t *testing.T) {
+	tr := NewTracer(&FakeClock{})
+	// Same start time everywhere (Step=0): order must fall back to
+	// (Depth, Name), independent of completion order.
+	b := tr.Start("bravo")
+	a := tr.Start("alpha")
+	a.End()
+	b.End()
+	got := tr.Spans()
+	if len(got) != 2 || got[0].Name != "bravo" || got[1].Name != "alpha" {
+		t.Errorf("spans = %+v, want bravo (depth 0) before alpha (depth 1)", got)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(&FakeClock{Step: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Start("replay").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Errorf("recorded %d spans, want 800", got)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(&FakeClock{Step: 7})
+	tr.Start("render").End()
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"render","depth":0,"start_ns":0,"dur_ns":7}` + "\n"
+	if sb.String() != want {
+		t.Errorf("WriteJSON = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	b := c.Now()
+	if a < 0 || b < a {
+		t.Errorf("wall clock went backwards: %d then %d", a, b)
+	}
+}
