@@ -172,15 +172,16 @@ func BenchmarkVillageFrame(b *testing.B) {
 // every texel through 13 hierarchies in one goroutine.
 // ---------------------------------------------------------------------------
 
-func benchSweep(b *testing.B, parallelism int) {
+func benchSweep(b *testing.B, parallelism, renderWorkers int) {
 	b.Helper()
 	scale := experiments.Bench()
 	render := core.Config{
-		Width:       scale.Width,
-		Height:      scale.Height,
-		Frames:      scale.VillageFrames,
-		Mode:        raster.Trilinear,
-		Parallelism: parallelism,
+		Width:         scale.Width,
+		Height:        scale.Height,
+		Frames:        scale.VillageFrames,
+		Mode:          raster.Trilinear,
+		Parallelism:   parallelism,
+		RenderWorkers: renderWorkers,
 	}
 	specs := experiments.SweepSpecs()
 	b.ReportAllocs()
@@ -192,13 +193,20 @@ func benchSweep(b *testing.B, parallelism int) {
 }
 
 // BenchmarkSweepSerial is the legacy single-goroutine engine.
-func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1, 1) }
 
-// BenchmarkSweepParallel4 bounds the worker pool at four replay workers.
-func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+// BenchmarkSweepParallel4 bounds the pool at four replay workers, with the
+// render farm at its GOMAXPROCS default.
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4, 0) }
 
-// BenchmarkSweepParallel uses the default pool (GOMAXPROCS workers).
-func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+// BenchmarkSweepParallel uses the default pool (GOMAXPROCS replay workers
+// and render farm) — the fully parallel engine.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0, 0) }
+
+// BenchmarkSweepParallelRenderSerial isolates the render farm's
+// contribution: parallel replay as in BenchmarkSweepParallel, but with the
+// serial render pass (RenderWorkers 1, the farm's oracle).
+func BenchmarkSweepParallelRenderSerial(b *testing.B) { benchSweep(b, 0, 1) }
 
 // BenchmarkTraceRecordReplay measures the trace encode+decode round trip.
 func BenchmarkTraceRecordReplay(b *testing.B) {

@@ -8,8 +8,15 @@
 //
 // Usage:
 //
-//	benchjson            # writes BENCH_sweep.json in the current directory
+//	benchjson                          # writes BENCH_sweep.json
 //	benchjson -o out.json
+//	benchjson -diff BENCH_baseline.json
+//
+// With -diff, the run is additionally compared against a previously
+// written report: any benchmark whose ns/op regresses by more than 25%
+// against its same-named baseline entry fails the run (exit status 1),
+// which is how CI gates performance. Benchmarks present on only one side
+// are reported but never fail the gate.
 package main
 
 import (
@@ -18,23 +25,30 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 
 	"texcache/internal/core"
 	"texcache/internal/experiments"
 	"texcache/internal/raster"
 	"texcache/internal/telemetry"
+	"texcache/internal/texture"
+	"texcache/internal/vecmath"
 	"texcache/internal/workload"
 )
 
+// regressionLimit is the ns/op ratio (new/old) above which -diff fails.
+const regressionLimit = 1.25
+
 // benchResult is one benchmark's single-iteration sample.
 type benchResult struct {
-	Name        string `json:"name"`
-	Parallelism int    `json:"parallelism"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	Frames      int    `json:"frames"`
-	Specs       int    `json:"specs"`
+	Name          string `json:"name"`
+	Parallelism   int    `json:"parallelism"`
+	RenderWorkers int    `json:"render_workers"`
+	NsPerOp       int64  `json:"ns_per_op"`
+	AllocsPerOp   int64  `json:"allocs_per_op"`
+	BytesPerOp    int64  `json:"bytes_per_op"`
+	Frames        int    `json:"frames"`
+	Specs         int    `json:"specs"`
 }
 
 // report is the artifact document.
@@ -49,6 +63,7 @@ func main() {
 
 func run() int {
 	out := flag.String("o", "BENCH_sweep.json", "output path")
+	diff := flag.String("diff", "", "baseline report to compare against; >25% ns/op regressions fail the run")
 	flag.Parse()
 
 	scale := experiments.Bench()
@@ -61,14 +76,18 @@ func run() int {
 	specs := experiments.SweepSpecs()
 
 	// Mirror bench_test.go's sweep benchmarks: the serial reference
-	// engine, a bounded 4-worker pool, and the GOMAXPROCS default.
+	// engine, a bounded 4-worker pool, the GOMAXPROCS default (replay pool
+	// and render farm both parallel), and the farm-isolating variant that
+	// keeps the render pass serial.
 	cases := []struct {
-		name        string
-		parallelism int
+		name          string
+		parallelism   int
+		renderWorkers int
 	}{
-		{"SweepSerial", 1},
-		{"SweepParallel4", 4},
-		{"SweepParallel", 0},
+		{"SweepSerial", 1, 1},
+		{"SweepParallel4", 4, 0},
+		{"SweepParallel", 0, 0},
+		{"SweepParallelRenderSerial", 0, 1},
 	}
 
 	clock := telemetry.NewWallClock()
@@ -89,6 +108,7 @@ func run() int {
 	for _, bc := range cases {
 		cfg := render
 		cfg.Parallelism = bc.parallelism
+		cfg.RenderWorkers = bc.renderWorkers
 
 		// Quiesce the heap so alloc deltas attribute to the run alone.
 		runtime.GC()
@@ -103,17 +123,27 @@ func run() int {
 			return 1
 		}
 		rep.Benchmarks = append(rep.Benchmarks, benchResult{
-			Name:        bc.name,
-			Parallelism: bc.parallelism,
-			NsPerOp:     elapsed,
-			AllocsPerOp: int64(after.Mallocs - before.Mallocs),
-			BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
-			Frames:      len(cmp.FramePixels),
-			Specs:       len(cmp.Results),
+			Name:          bc.name,
+			Parallelism:   bc.parallelism,
+			RenderWorkers: bc.renderWorkers,
+			NsPerOp:       elapsed,
+			AllocsPerOp:   int64(after.Mallocs - before.Mallocs),
+			BytesPerOp:    int64(after.TotalAlloc - before.TotalAlloc),
+			Frames:        len(cmp.FramePixels),
+			Specs:         len(cmp.Results),
 		})
-		fmt.Fprintf(os.Stderr, "benchjson: %-15s %12d ns/op %12d allocs/op\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %-25s %12d ns/op %12d allocs/op\n",
 			bc.name, elapsed, after.Mallocs-before.Mallocs)
 	}
+
+	fill, err := rasterizerFill(clock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	rep.Benchmarks = append(rep.Benchmarks, fill)
+	fmt.Fprintf(os.Stderr, "benchjson: %-25s %12d ns/op %12d allocs/op\n",
+		fill.Name, fill.NsPerOp, fill.AllocsPerOp)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -132,5 +162,118 @@ func run() int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+
+	if *diff != "" {
+		return diffReports(*diff, rep)
+	}
+	return 0
+}
+
+// rasterizerFill is the per-texel hot-path sample: repeated textured quad
+// fills (two triangles covering a 256x256 target under trilinear
+// filtering) through the devirtualized trace sink, averaged over enough
+// iterations to be a stable single-shot measurement.
+func rasterizerFill(clock *telemetry.WallClock) (benchResult, error) {
+	const iters = 32
+	r, err := raster.New(raster.Config{Width: 256, Height: 256, Mode: raster.Trilinear})
+	if err != nil {
+		return benchResult{}, err
+	}
+	var texels int64
+	r.SetSink(raster.SinkFunc(func(tid texture.ID, u, v, m int) { texels++ }))
+	tex, err := texture.New("t", 256, 256, texture.RGBA8888, nil)
+	if err != nil {
+		return benchResult{}, err
+	}
+	quad := benchQuad()
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := clock.Now()
+	for i := 0; i < iters; i++ {
+		r.BeginFrame()
+		for _, tri := range quad {
+			r.DrawTriangle(tex, tri[0], tri[1], tri[2], 1)
+		}
+	}
+	elapsed := clock.Now() - start
+	runtime.ReadMemStats(&after)
+	return benchResult{
+		Name:        "RasterizerFill",
+		NsPerOp:     elapsed / iters,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / iters,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / iters,
+		Frames:      iters,
+	}, nil
+}
+
+func benchQuad() [2][3]raster.Vertex {
+	mk := func(x, y, u, v float64) raster.Vertex {
+		return raster.Vertex{
+			Pos: vecmath.Vec4{X: x, Y: y, Z: 0, W: 1},
+			UV:  vecmath.Vec2{X: u, Y: v},
+		}
+	}
+	bl := mk(-1, -1, 0, 1)
+	br := mk(1, -1, 1, 1)
+	tl := mk(-1, 1, 0, 0)
+	tr := mk(1, 1, 1, 0)
+	return [2][3]raster.Vertex{{tl, bl, br}, {tl, br, tr}}
+}
+
+// diffReports compares the fresh report against a baseline artifact and
+// fails (exit 1) on any >25% ns/op regression of a same-named benchmark.
+func diffReports(path string, cur report) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: diff:", err)
+		return 1
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: diff: parsing %s: %v\n", path, err)
+		return 1
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+
+	failed := false
+	for _, b := range cur.Benchmarks {
+		old, ok := baseline[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: diff: %s: not in baseline, skipping\n", b.Name)
+			continue
+		}
+		delete(baseline, b.Name)
+		if old.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: diff: %s: baseline ns/op %d, skipping\n", b.Name, old.NsPerOp)
+			continue
+		}
+		ratio := float64(b.NsPerOp) / float64(old.NsPerOp)
+		verdict := "ok"
+		if ratio > regressionLimit {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: diff: %-25s %12d -> %12d ns/op (%.2fx) %s\n",
+			b.Name, old.NsPerOp, b.NsPerOp, ratio, verdict)
+	}
+	leftovers := make([]string, 0, len(baseline))
+	for name := range baseline {
+		leftovers = append(leftovers, name)
+	}
+	sort.Strings(leftovers)
+	for _, name := range leftovers {
+		fmt.Fprintf(os.Stderr, "benchjson: diff: %s: in baseline only, skipping\n", name)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: diff: ns/op regressed beyond %.0f%% against %s\n",
+			100*(regressionLimit-1), path)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: diff: within %.0f%% of %s\n", 100*(regressionLimit-1), path)
 	return 0
 }

@@ -39,6 +39,8 @@ func run() int {
 	out := flag.String("o", "", "write output to file instead of stdout")
 	parallel := flag.Int("parallel", 0,
 		"worker pool size for prefetch and cache sweeps (0 = GOMAXPROCS, -1 = serial)")
+	renderWorkers := flag.Int("renderworkers", 0,
+		"render farm size for cache sweeps (0 = GOMAXPROCS, -1 or 1 = serial render pass)")
 	csvDir := flag.String("csv", "", "also export per-frame figure series as CSV into this directory")
 	metricsPath := flag.String("metrics", "", "write every run's per-frame metric stream here (.csv = CSV, else JSONL)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (config hash, environment, totals) here")
@@ -109,6 +111,11 @@ func run() int {
 		ctx.Parallelism = 1 // serial reference engine
 	} else {
 		ctx.Parallelism = *parallel
+	}
+	if *renderWorkers < 0 {
+		ctx.RenderWorkers = 1 // serial render pass
+	} else {
+		ctx.RenderWorkers = *renderWorkers
 	}
 
 	var totals telemetry.Totals

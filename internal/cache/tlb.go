@@ -8,6 +8,7 @@ package cache
 type TLB struct {
 	entries []uint32
 	next    int
+	hot     int
 	lookups int64
 	hits    int64
 }
@@ -31,18 +32,37 @@ func (t *TLB) Entries() int { return len(t.entries) }
 // Lookup checks whether the page-table index is cached, inserting it with
 // round-robin replacement on a miss. It returns true on a hit.
 //
+// The hot index remembers the most recently touched slot and is probed
+// before the associative scan. Texel streams revisit the same page many
+// times in a row, so most hits resolve on that single compare. The probe
+// is strictly non-mutating — membership and the round-robin victim
+// pointer are exactly those of the plain scan — so hit/miss counters are
+// bit-identical with or without it (pinned by TestTLBGoldenCounters and
+// checked against the reference model in TestTLBMatchesReferenceModel).
+//
 // texlint:hotpath
 func (t *TLB) Lookup(ptIndex uint32) bool {
 	t.lookups++
-	for _, e := range t.entries {
+	n := len(t.entries)
+	if n == 0 {
+		return false
+	}
+	if t.entries[t.hot] == ptIndex {
+		t.hits++
+		return true
+	}
+	for i, e := range t.entries {
 		if e == ptIndex {
 			t.hits++
+			t.hot = i
 			return true
 		}
 	}
-	if len(t.entries) > 0 {
-		t.entries[t.next] = ptIndex
-		t.next = (t.next + 1) % len(t.entries)
+	t.entries[t.next] = ptIndex
+	t.hot = t.next
+	t.next++
+	if t.next == n {
+		t.next = 0
 	}
 	return false
 }

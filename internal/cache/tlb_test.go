@@ -81,3 +81,80 @@ func TestTLBStatsZero(t *testing.T) {
 		t.Error("zero stats hit rate nonzero")
 	}
 }
+
+// refTLB reimplements Lookup exactly as it shipped before the hot-probe
+// fast path: a plain scan with round-robin insertion and no shortcut
+// state. TestTLBMatchesReferenceModel drives both models through the same
+// sequences and demands identical per-lookup outcomes, which proves the
+// fast path never changes membership, victim choice, or the counters.
+type refTLB struct {
+	entries []uint32
+	next    int
+}
+
+func newRefTLB(n int) *refTLB {
+	r := &refTLB{entries: make([]uint32, n)}
+	for i := range r.entries {
+		r.entries[i] = tlbInvalid
+	}
+	return r
+}
+
+func (r *refTLB) lookup(ptIndex uint32) bool {
+	for _, e := range r.entries {
+		if e == ptIndex {
+			return true
+		}
+	}
+	if len(r.entries) > 0 {
+		r.entries[r.next] = ptIndex
+		r.next = (r.next + 1) % len(r.entries)
+	}
+	return false
+}
+
+func (r *refTLB) invalidate(tstart, tlen uint32) {
+	for i, e := range r.entries {
+		if e != tlbInvalid && e >= tstart && e < tstart+tlen {
+			r.entries[i] = tlbInvalid
+		}
+	}
+}
+
+func TestTLBMatchesReferenceModel(t *testing.T) {
+	for _, size := range []int{0, 1, 2, 3, 4, 16} {
+		tlb := NewTLB(size)
+		ref := newRefTLB(size)
+		// Deterministic LCG over a small page universe so repeats,
+		// evictions and re-insertions all occur; periodic invalidations
+		// exercise the interaction with the hot slot.
+		state := uint32(12345)
+		hits := int64(0)
+		const lookups = 200000
+		for i := 0; i < lookups; i++ {
+			state = state*1664525 + 1013904223
+			// Skewed page stream: low bits repeat often, mimicking the
+			// run-heavy locality of a texel trace.
+			page := (state >> 24) % 40
+			got := tlb.Lookup(page)
+			want := ref.lookup(page)
+			if got != want {
+				t.Fatalf("size %d, lookup %d (page %d): TLB hit=%v, reference hit=%v",
+					size, i, page, got, want)
+			}
+			if want {
+				hits++
+			}
+			if i%4096 == 4095 {
+				start := (state >> 16) % 40
+				tlb.Invalidate(start, 4)
+				ref.invalidate(start, 4)
+			}
+		}
+		s := tlb.Stats()
+		if s.Lookups != lookups || s.Hits != hits {
+			t.Errorf("size %d: stats = %+v, want {Lookups:%d Hits:%d}",
+				size, s, int64(lookups), hits)
+		}
+	}
+}

@@ -55,6 +55,16 @@ type Config struct {
 	// setting; the knob trades memory (the in-memory trace, roughly 2-3
 	// bytes per texel reference) for wall-clock. Negative is invalid.
 	Parallelism int
+	// RenderWorkers sizes the frame-parallel render farm of comparison
+	// sweeps: 0 means runtime.GOMAXPROCS(0), 1 keeps the serial render
+	// pass (the oracle the farm is tested against), and higher values
+	// render frames out of order on that many per-worker render contexts.
+	// The knob only applies when the render-once/replay-many engine runs
+	// (Parallelism != 1 with at least two specs); the serial reference
+	// fan-out always renders serially. Shards and the assembled
+	// Comparison are byte-identical at every setting. Negative is
+	// invalid.
+	RenderWorkers int
 	// Metrics, when non-nil, receives one telemetry record per simulated
 	// frame (and per cache spec in comparison runs) in a deterministic
 	// frame-major, spec-minor order that is identical at every
@@ -82,6 +92,9 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+	}
+	if c.RenderWorkers < 0 {
+		return fmt.Errorf("core: negative render workers %d", c.RenderWorkers)
 	}
 	if c.L2 != nil {
 		if err := c.L2.Layout.Validate(); err != nil {

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"texcache/internal/cache"
+	"texcache/internal/raster"
+	"texcache/internal/texture"
+	"texcache/internal/workload"
+)
+
+// farmSweepSpecs hand-rolls the 13 cache specs of experiments.SweepSpecs()
+// (this internal test package cannot import experiments without a cycle):
+// the pull-architecture L1 sizes, the L2 sizes behind a 2 KB L1, and the
+// TLB entry sweep, all with the cache studies' fixed 16x16 L2 tiles.
+func farmSweepSpecs() []CacheSpec {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	l2 := func(name string, l1Bytes, l2MB, tlb int) CacheSpec {
+		return CacheSpec{
+			Name:    name,
+			L1Bytes: l1Bytes,
+			L2: &cache.L2Config{
+				SizeBytes: l2MB << 20,
+				Layout:    layout,
+				Policy:    cache.Clock,
+			},
+			TLBEntries: tlb,
+		}
+	}
+	specs := []CacheSpec{
+		{Name: "pull-2k", L1Bytes: 2 << 10},
+		{Name: "pull-4k", L1Bytes: 4 << 10},
+		{Name: "pull-8k", L1Bytes: 8 << 10},
+		{Name: "pull-16k", L1Bytes: 16 << 10},
+		{Name: "pull-32k", L1Bytes: 32 << 10},
+		l2("l2-2m", 2<<10, 2, 16),
+		l2("l2-4m", 2<<10, 4, 0),
+		l2("l2-8m", 2<<10, 8, 0),
+		l2("l2-2m-16k", 16<<10, 2, 0),
+	}
+	for _, tlb := range []int{1, 2, 4, 8} {
+		specs = append(specs, l2(fmt.Sprintf("tlb-%d", tlb), 2<<10, 2, tlb))
+	}
+	return specs
+}
+
+func farmRenderConfig() Config {
+	return Config{
+		Width:  192,
+		Height: 144,
+		Frames: 4,
+		Mode:   raster.Trilinear,
+	}
+}
+
+// farmWorkerCounts returns the render farm sizes the determinism tests
+// sweep: the serial oracle, the smallest real farm, and GOMAXPROCS.
+func farmWorkerCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// TestRenderFarmShardIdentity is the farm's low-level contract: for every
+// worker count, the per-frame shard bytes, pipeline statistics and pixel
+// counts published by renderFarm are byte-identical to those of the
+// serial render pass. Shards are compared directly, before any replay,
+// so a divergence pinpoints the render pass rather than the cache model.
+func TestRenderFarmShardIdentity(t *testing.T) {
+	w := workload.Village()
+	render := farmRenderConfig()
+
+	serial := newRenderedTrace(render.Frames)
+	if err := serial.render(w, render, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range farmWorkerCounts()[1:] {
+		farm := newRenderedTrace(render.Frames)
+		if err := farm.renderFarm(w, render, nil, nil, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for f := range serial.shards {
+			if !bytes.Equal(serial.shards[f], farm.shards[f]) {
+				t.Errorf("workers=%d frame %d: shard bytes differ (serial %d bytes, farm %d bytes)",
+					workers, f, len(serial.shards[f]), len(farm.shards[f]))
+			}
+			if serial.pipeline[f] != farm.pipeline[f] {
+				t.Errorf("workers=%d frame %d: pipeline stats differ", workers, f)
+			}
+			if serial.pixels[f] != farm.pixels[f] {
+				t.Errorf("workers=%d frame %d: pixels = %d, want %d",
+					workers, f, farm.pixels[f], serial.pixels[f])
+			}
+		}
+	}
+}
+
+// TestRenderParallelMatchesSerial is the farm's end-to-end contract: the
+// full 13-spec sweep assembles a Comparison deeply equal to the serial
+// reference engine's at every render farm size. It runs at a tiny scale
+// so the race lane covers the farm on every CI run; it is deliberately
+// not gated.
+func TestRenderParallelMatchesSerial(t *testing.T) {
+	w := workload.Village()
+	specs := farmSweepSpecs()
+
+	base := farmRenderConfig()
+	base.Parallelism = 1
+	serial, err := RunComparison(w, base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range farmWorkerCounts() {
+		render := farmRenderConfig()
+		render.RenderWorkers = workers
+		cmp, err := RunComparison(w, render, specs)
+		if err != nil {
+			t.Fatalf("renderworkers=%d: %v", workers, err)
+		}
+		// The engine knobs are recorded in the configs; normalise them
+		// before demanding identity of everything else.
+		cmp.Render.Parallelism = serial.Render.Parallelism
+		cmp.Render.RenderWorkers = serial.Render.RenderWorkers
+		for i := range cmp.Results {
+			cmp.Results[i].Config.Parallelism = serial.Results[i].Config.Parallelism
+			cmp.Results[i].Config.RenderWorkers = serial.Results[i].Config.RenderWorkers
+		}
+		for i, spec := range specs {
+			if serial.Results[i].Totals != cmp.Results[i].Totals {
+				t.Errorf("renderworkers=%d spec %q: totals differ:\nserial %+v\nfarm   %+v",
+					workers, spec.Name, serial.Results[i].Totals, cmp.Results[i].Totals)
+			}
+		}
+		if !reflect.DeepEqual(serial, cmp) {
+			t.Errorf("renderworkers=%d: comparison differs beyond totals (frames, pixels, pipeline stats)", workers)
+		}
+	}
+}
+
+// TestRenderParallelStatsAndReuse covers the coordinator's frame-ordered
+// stats replay: the §4 working-set collector and the reuse-distance probe
+// both carry cross-frame state (new-block stamps, LRU stack distances)
+// that must see the global reference order even when frames render out of
+// order. The farm feeds them by replaying published shards in frame
+// order; the result must match the serial pass exactly.
+func TestRenderParallelStatsAndReuse(t *testing.T) {
+	w := workload.Village()
+	specs := farmSweepSpecs()[:2]
+
+	base := farmRenderConfig()
+	base.Parallelism = 1
+	base.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
+	base.CollectReuse = true
+	serial, err := RunComparison(w, base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range farmWorkerCounts() {
+		render := base
+		render.Parallelism = 0
+		render.RenderWorkers = workers
+		cmp, err := RunComparison(w, render, specs)
+		if err != nil {
+			t.Fatalf("renderworkers=%d: %v", workers, err)
+		}
+		cmp.Render.Parallelism = serial.Render.Parallelism
+		cmp.Render.RenderWorkers = serial.Render.RenderWorkers
+		for i := range cmp.Results {
+			cmp.Results[i].Config.Parallelism = serial.Results[i].Config.Parallelism
+			cmp.Results[i].Config.RenderWorkers = serial.Results[i].Config.RenderWorkers
+		}
+		if !reflect.DeepEqual(serial.Reuse, cmp.Reuse) {
+			t.Errorf("renderworkers=%d: reuse histogram differs", workers)
+		}
+		if !reflect.DeepEqual(serial.Results[0].Summary, cmp.Results[0].Summary) {
+			t.Errorf("renderworkers=%d: working-set summary differs", workers)
+		}
+		if !reflect.DeepEqual(serial, cmp) {
+			t.Errorf("renderworkers=%d: comparison differs (stats frames or counters)", workers)
+		}
+	}
+}

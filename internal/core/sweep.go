@@ -102,16 +102,24 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		rt.abort(0)
 		return err
 	}
+	// With no collectors tapping the stream, references go straight to
+	// the trace writer through the rasterizer's devirtualized TraceSink
+	// fast path; only collector runs pay the interface-dispatch tee.
 	var tw *trace.Writer
-	rast.SetSink(raster.SinkFunc(func(tid texture.ID, u, v, m int) {
-		tw.Texel(uint32(tid), u, v, m)
-		if collect != nil {
-			collect.Texel(tid, u, v, m)
-		}
-		if reuse != nil {
-			reuse.Texel(tid, u, v, m)
-		}
-	}))
+	ts := &raster.TraceSink{}
+	if collect == nil && reuse == nil {
+		rast.SetSink(ts)
+	} else {
+		rast.SetSink(raster.SinkFunc(func(tid texture.ID, u, v, m int) {
+			tw.Texel(uint32(tid), u, v, m)
+			if collect != nil {
+				collect.Texel(tid, u, v, m)
+			}
+			if reuse != nil {
+				reuse.Texel(tid, u, v, m)
+			}
+		}))
+	}
 	pipeline := scene.NewPipeline(rast)
 	aspect := float64(render.Width) / float64(render.Height)
 	if collect != nil {
@@ -122,6 +130,7 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		enc := render.Tracer.Start("encode")
 		var buf shardBuffer
 		tw = trace.NewWriter(&buf)
+		ts.W = tw
 		tw.BeginFrame()
 		if collect != nil {
 			collect.BeginFrame()
@@ -274,7 +283,16 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		}(i)
 	}
 
-	renderErr := rt.render(w, render, collect, reuse)
+	// The render pass: RenderWorkers selects between the serial oracle
+	// and the frame-parallel farm (renderfarm.go); both publish shards
+	// through the same ready-channel contract and produce byte-identical
+	// shards, so the replay pool above is oblivious to the choice.
+	var renderErr error
+	if rw := renderWorkerCount(render.RenderWorkers, render.Frames); rw > 1 {
+		renderErr = rt.renderFarm(w, render, collect, reuse, rw)
+	} else {
+		renderErr = rt.render(w, render, collect, reuse)
+	}
 	wg.Wait()
 	if renderErr != nil {
 		return nil, renderErr

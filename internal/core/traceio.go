@@ -34,9 +34,7 @@ func RecordTrace(wk *workload.Workload, cfg Config, w io.Writer) (frames int, er
 		return 0, err
 	}
 	tw := trace.NewWriter(w)
-	rast.SetSink(raster.SinkFunc(func(tid texture.ID, u, v, m int) {
-		tw.Texel(uint32(tid), u, v, m)
-	}))
+	rast.SetSink(&raster.TraceSink{W: tw})
 	pipeline := scene.NewPipeline(rast)
 	aspect := float64(cfg.Width) / float64(cfg.Height)
 	for f := 0; f < cfg.Frames; f++ {

@@ -24,6 +24,7 @@ func (c *Context) AblationZ() error {
 				Mode:           raster.Trilinear,
 				ZBeforeTexture: zFirst,
 				Parallelism:    c.Parallelism,
+				RenderWorkers:  c.RenderWorkers,
 			}
 			cmp, err := core.RunComparison(c.workloadByName(name), render,
 				[]core.CacheSpec{l2Spec("l2", 2<<10, 2, 0)})
@@ -73,11 +74,12 @@ func (c *Context) AblationRepl() error {
 			})
 		}
 		render := core.Config{
-			Width:       c.Scale.Width,
-			Height:      c.Scale.Height,
-			Frames:      c.frames(name),
-			Mode:        raster.Trilinear,
-			Parallelism: c.Parallelism,
+			Width:         c.Scale.Width,
+			Height:        c.Scale.Height,
+			Frames:        c.frames(name),
+			Mode:          raster.Trilinear,
+			Parallelism:   c.Parallelism,
+			RenderWorkers: c.RenderWorkers,
 		}
 		cmp, err := core.RunComparison(c.workloadByName(name), render, specs)
 		if err != nil {
@@ -125,11 +127,12 @@ func (c *Context) AblationSector() error {
 			},
 		}
 		render := core.Config{
-			Width:       c.Scale.Width,
-			Height:      c.Scale.Height,
-			Frames:      c.frames(name),
-			Mode:        raster.Trilinear,
-			Parallelism: c.Parallelism,
+			Width:         c.Scale.Width,
+			Height:        c.Scale.Height,
+			Frames:        c.frames(name),
+			Mode:          raster.Trilinear,
+			Parallelism:   c.Parallelism,
+			RenderWorkers: c.RenderWorkers,
 		}
 		cmp, err := core.RunComparison(c.workloadByName(name), render, specs)
 		if err != nil {
@@ -172,11 +175,12 @@ func (c *Context) AblationAssoc() error {
 		})
 	}
 	render := core.Config{
-		Width:       c.Scale.Width,
-		Height:      c.Scale.Height,
-		Frames:      c.frames("village"),
-		Mode:        raster.Trilinear,
-		Parallelism: c.Parallelism,
+		Width:         c.Scale.Width,
+		Height:        c.Scale.Height,
+		Frames:        c.frames("village"),
+		Mode:          raster.Trilinear,
+		Parallelism:   c.Parallelism,
+		RenderWorkers: c.RenderWorkers,
 	}
 	cmp, err := core.RunComparison(c.workloadByName("village"), render, specs)
 	if err != nil {

@@ -54,6 +54,11 @@ type Context struct {
 	// engine, higher values the render-once/replay-many worker pool.
 	// Results are identical at every setting.
 	Parallelism int
+	// RenderWorkers is forwarded to core.Config.RenderWorkers for every
+	// cache sweep: it sizes the frame-parallel render farm of the
+	// render-once/replay-many engine (0 = GOMAXPROCS, 1 = the serial
+	// render pass). Results are identical at every setting.
+	RenderWorkers int
 	// Metrics, when non-nil, receives every memoized run's per-frame
 	// records. Emission happens at memoization time — once per underlying
 	// simulation, never per experiment that reads it — so the stream is a
@@ -210,11 +215,12 @@ func (c *Context) sweep(name string, mode raster.SampleMode) (*core.Comparison, 
 		return r, nil
 	}
 	render := core.Config{
-		Width:       c.Scale.Width,
-		Height:      c.Scale.Height,
-		Frames:      c.frames(name),
-		Mode:        mode,
-		Parallelism: c.Parallelism,
+		Width:         c.Scale.Width,
+		Height:        c.Scale.Height,
+		Frames:        c.frames(name),
+		Mode:          mode,
+		Parallelism:   c.Parallelism,
+		RenderWorkers: c.RenderWorkers,
 	}
 	cmp, err := core.RunComparison(c.workloadByName(name), render, SweepSpecs())
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"texcache/internal/texture"
+	"texcache/internal/trace"
 	"texcache/internal/vecmath"
 )
 
@@ -58,6 +59,20 @@ type SinkFunc func(tid texture.ID, u, v, m int)
 // Texel implements Sink.
 func (f SinkFunc) Texel(tid texture.ID, u, v, m int) { f(tid, u, v, m) }
 
+// TraceSink streams texel references straight into a trace.Writer. The
+// rasterizer recognises this concrete type in SetSink and bypasses the
+// Sink interface on the per-texel emit path — one direct call per texel
+// instead of an interface dispatch plus an adapter hop. W may be swapped
+// between frames (the sweep engine encodes one independent shard per
+// frame) but must not change while a triangle is being rasterized.
+type TraceSink struct{ W *trace.Writer }
+
+// Texel implements Sink for callers holding the sink as an interface;
+// the rasterizer's fast path calls the writer directly instead.
+//
+// texlint:hotpath
+func (s *TraceSink) Texel(tid texture.ID, u, v, m int) { s.W.Texel(uint32(tid), u, v, m) }
+
 // Vertex is a clip-space vertex with normalized texture coordinates.
 type Vertex struct {
 	Pos vecmath.Vec4 // clip-space position; W > 0 after near clipping
@@ -79,10 +94,14 @@ type Config struct {
 
 // Rasterizer rasterizes textured triangles and streams texel references.
 type Rasterizer struct {
-	cfg    Config
-	depth  []float32
-	color  []texture.RGBA
-	sink   Sink
+	cfg   Config
+	depth []float32
+	color []texture.RGBA
+	sink  Sink
+	// tsink is non-nil when sink is a *TraceSink: the type assertion is
+	// hoisted here, out of the inner scanline loop, so emit can call the
+	// trace writer directly instead of dispatching through the interface.
+	tsink  *TraceSink
 	pixels int64
 }
 
@@ -112,7 +131,12 @@ func MustNew(cfg Config) *Rasterizer {
 func (r *Rasterizer) Config() Config { return r.cfg }
 
 // SetSink directs the texel reference stream. A nil sink discards it.
-func (r *Rasterizer) SetSink(s Sink) { r.sink = s }
+// A *TraceSink is recognised and devirtualized: its writer is called
+// directly on the per-texel path.
+func (r *Rasterizer) SetSink(s Sink) {
+	r.sink = s
+	r.tsink, _ = s.(*TraceSink)
+}
 
 func (r *Rasterizer) clear() {
 	for i := range r.depth {
@@ -218,6 +242,15 @@ func (r *Rasterizer) DrawTriangle(tex *texture.Texture, v0, v1, v2 Vertex, shade
 	}
 	edges := [3]edge{e01, e12, e20}
 
+	// Per-triangle invariants hoisted out of the per-pixel path: the
+	// texture, gradients, shade and config flags are loaded once here
+	// instead of on every shadePixel call.
+	t := triState{
+		tex: tex, gu: gu, gv: gv, giw: giw, gz: gz,
+		shade: shade, zfirst: r.cfg.ZBeforeTexture,
+	}
+	width := r.cfg.Width
+
 	for yi := minY; yi < maxY; yi++ {
 		py := float64(yi) + 0.5
 		// Intersect the row with each half-plane to find the span of
@@ -251,55 +284,65 @@ func (r *Rasterizer) DrawTriangle(tex *texture.Texture, v0, v1, v2 Vertex, shade
 		if xStart < 0 {
 			xStart = 0
 		}
-		if xEnd > r.cfg.Width {
-			xEnd = r.cfg.Width
+		if xEnd > width {
+			xEnd = width
 		}
+		rowBase := yi * width
 		for xi := xStart; xi < xEnd; xi++ {
 			px := float64(xi) + 0.5
-			r.shadePixel(tex, px, py, xi, yi, gu, gv, giw, gz, shade)
+			r.shadePixel(&t, px, py, rowBase+xi)
 		}
 	}
 }
 
-// shadePixel runs the per-pixel pipeline: depth, texture sampling, write.
-func (r *Rasterizer) shadePixel(tex *texture.Texture, px, py float64, xi, yi int,
-	gu, gv, giw, gz gradient, shade float64) {
+// triState carries one triangle's interpolation state through the
+// scanline loop, so shadePixel reads per-triangle invariants from one
+// cache line instead of re-deriving them per pixel.
+type triState struct {
+	tex             *texture.Texture
+	gu, gv, giw, gz gradient
+	shade           float64
+	zfirst          bool
+}
 
-	idx := yi*r.cfg.Width + xi
-	z := float32(gz.at(px, py))
+// shadePixel runs the per-pixel pipeline: depth, texture sampling, write.
+// idx is the framebuffer index yi*Width+xi, accumulated per row by the
+// caller.
+func (r *Rasterizer) shadePixel(t *triState, px, py float64, idx int) {
+	z := float32(t.gz.at(px, py))
 	pass := z <= r.depth[idx]
 
-	if r.cfg.ZBeforeTexture && !pass {
+	if t.zfirst && !pass {
 		return // occluded: no texel traffic, no pixel generated
 	}
 	r.pixels++
 
-	iw := giw.at(px, py)
+	iw := t.giw.at(px, py)
 	if iw <= 0 {
 		return // behind the eye; clipping should prevent this
 	}
 	wRecip := 1 / iw
-	u := gu.at(px, py) * wRecip
-	v := gv.at(px, py) * wRecip
+	u := t.gu.at(px, py) * wRecip
+	v := t.gv.at(px, py) * wRecip
 
 	// Texture-space footprint of the pixel via exact derivatives of the
 	// rational interpolant: d(f/g)/dx = (f'g - fg')/g^2.
-	dudx := (gu.a - u*giw.a) * wRecip
-	dvdx := (gv.a - v*giw.a) * wRecip
-	dudy := (gu.b - u*giw.b) * wRecip
-	dvdy := (gv.b - v*giw.b) * wRecip
-	rho := math.Max(math.Hypot(dudx, dvdx), math.Hypot(dudy, dvdy))
+	dudx := (t.gu.a - u*t.giw.a) * wRecip
+	dvdx := (t.gv.a - v*t.giw.a) * wRecip
+	dudy := (t.gu.b - u*t.giw.b) * wRecip
+	dvdy := (t.gv.b - v*t.giw.b) * wRecip
+	rho := maxf(math.Hypot(dudx, dvdx), math.Hypot(dudy, dvdy))
 	var lambda float64
 	if rho > 0 {
 		lambda = math.Log2(rho)
 	}
 
-	col := r.sampleAndEmit(tex, u, v, lambda)
+	col := r.sampleAndEmit(t.tex, u, v, lambda)
 
 	if pass {
 		r.depth[idx] = z
 		if r.color != nil {
-			r.color[idx] = applyShade(col, shade)
+			r.color[idx] = applyShade(col, t.shade)
 		}
 	}
 }
@@ -334,18 +377,35 @@ func (r *Rasterizer) sampleAndEmit(tex *texture.Texture, u, v, lambda float64) t
 	}
 }
 
-// levelCoord scales base-level texel coordinates to level m.
-//
-// texsim:pure
+// levelInv[m] holds the exact reciprocal 1/2^m. Multiplying by an exact
+// power-of-two reciprocal is the same correctly-rounded IEEE operation as
+// dividing by 2^m, so levelCoord avoids a per-texel divide without
+// changing a single bit of the result.
+var levelInv = computeLevelInv()
+
+func computeLevelInv() [64]float64 {
+	var t [64]float64
+	t[0] = 1
+	for m := 1; m < len(t); m++ {
+		t[m] = t[m-1] * 0.5
+	}
+	return t
+}
+
+// levelCoord scales base-level texel coordinates to level m. It reads
+// the levelInv table (written only at package init), so it carries no
+// purity marker — the analyzer rejects package-level reads.
 func levelCoord(c float64, m int) float64 {
-	return c / float64(int(1)<<uint(m))
+	return c * levelInv[m]
 }
 
 func (r *Rasterizer) emit(tex *texture.Texture, u, v, m int) {
 	l := tex.Levels[m]
 	u = texture.WrapTexel(u, l.Width)
 	v = texture.WrapTexel(v, l.Height)
-	if r.sink != nil {
+	if r.tsink != nil {
+		r.tsink.W.Texel(uint32(tex.ID), u, v, m)
+	} else if r.sink != nil {
 		r.sink.Texel(tex.ID, u, v, m)
 	}
 }
@@ -413,8 +473,39 @@ func applyShade(c texture.RGBA, s float64) texture.RGBA {
 	}
 }
 
-// texsim:pure
-func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+// The min/max helpers use inlinable branches instead of math.Min/Max.
+// For the non-NaN screen coordinates and footprint lengths they see, the
+// results are identical; the branches inline where the math calls do not
+// (they carry NaN and signed-zero handling the rasterizer never needs).
 
 // texsim:pure
-func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// texsim:pure
+func max3(a, b, c float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+// texsim:pure
+func maxf(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}

@@ -171,9 +171,16 @@ func (t *Texture) ClampLevel(m int) int {
 
 // WrapTexel maps an arbitrary integer texel coordinate into the level's
 // extent using repeat (wrap) addressing, the mode used by both workloads.
+// MIP level extents are powers of two (New enforces power-of-two base
+// dimensions and halving preserves the property), so the per-texel path
+// reduces to a mask; the mod fallback keeps the function total for
+// arbitrary extents.
 //
 // texsim:pure
 func WrapTexel(c, extent int) int {
+	if extent&(extent-1) == 0 {
+		return c & (extent - 1)
+	}
 	c %= extent
 	if c < 0 {
 		c += extent

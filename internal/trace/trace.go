@@ -95,7 +95,11 @@ func (w *Writer) BeginFrame() {
 	w.op(opFrame)
 }
 
-// Texel records one texel reference.
+// Texel records one texel reference. It is the per-texel entry point of
+// the trace-record path — the rasterizer's devirtualized TraceSink calls
+// it once per emitted texel.
+//
+// texsim:hot
 func (w *Writer) Texel(tid uint32, u, v, m int) {
 	if !w.inFrame {
 		w.fail(errors.New("trace: Texel outside a frame"))
