@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs int64) benchResult {
+	return benchResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func runDiff(t *testing.T, base, cur []benchResult) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := diffAgainst(&buf, "base.json", report{Benchmarks: base}, report{Benchmarks: cur})
+	return code, buf.String()
+}
+
+func TestDiffWithinLimitPasses(t *testing.T) {
+	code, out := runDiff(t,
+		[]benchResult{bench("A", 1000, 100)},
+		[]benchResult{bench("A", 1200, 120)}, // both +20%, under the 25% gate
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "within 25% of base.json") {
+		t.Errorf("missing pass summary:\n%s", out)
+	}
+}
+
+func TestDiffNsRegressionFails(t *testing.T) {
+	code, out := runDiff(t,
+		[]benchResult{bench("A", 1000, 100)},
+		[]benchResult{bench("A", 1300, 100)},
+	)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ns/op regressed beyond 25%") {
+		t.Errorf("missing ns/op failure summary:\n%s", out)
+	}
+	if strings.Contains(out, "allocs/op regressed") {
+		t.Errorf("allocs/op wrongly blamed:\n%s", out)
+	}
+}
+
+func TestDiffAllocsRegressionFailsAlone(t *testing.T) {
+	// The timer is fine; only the allocation count blew past the gate.
+	code, out := runDiff(t,
+		[]benchResult{bench("A", 1000, 100)},
+		[]benchResult{bench("A", 1000, 200)},
+	)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs/op regressed beyond 25%") {
+		t.Errorf("missing allocs/op failure summary:\n%s", out)
+	}
+	if strings.Contains(out, "ns/op regressed") {
+		t.Errorf("ns/op wrongly blamed:\n%s", out)
+	}
+	if !strings.Contains(out, "200 allocs/op (2.00x) REGRESSION") {
+		t.Errorf("missing per-benchmark allocs/op line:\n%s", out)
+	}
+}
+
+func TestDiffZeroBaselineAllocsSkipped(t *testing.T) {
+	// A baseline that recorded no allocations cannot gate them.
+	code, out := runDiff(t,
+		[]benchResult{bench("A", 1000, 0)},
+		[]benchResult{bench("A", 1000, 500)},
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "baseline allocs/op 0, skipping") {
+		t.Errorf("missing skip notice:\n%s", out)
+	}
+}
+
+func TestDiffOneSidedBenchmarksNeverGate(t *testing.T) {
+	code, out := runDiff(t,
+		[]benchResult{bench("Zed", 1000, 100), bench("Abc", 1000, 100)},
+		[]benchResult{bench("New", 1000, 100)},
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "New: not in baseline, skipping") {
+		t.Errorf("missing current-only notice:\n%s", out)
+	}
+	// Leftovers come out sorted regardless of baseline order.
+	abc := strings.Index(out, "Abc: in baseline only")
+	zed := strings.Index(out, "Zed: in baseline only")
+	if abc < 0 || zed < 0 || abc > zed {
+		t.Errorf("baseline-only entries missing or unsorted:\n%s", out)
+	}
+}
+
+func TestDiffOutputIsDeterministic(t *testing.T) {
+	base := []benchResult{bench("B", 1000, 100), bench("A", 1000, 100), bench("C", 1000, 100)}
+	cur := []benchResult{bench("A", 900, 90), bench("B", 1100, 110)}
+	_, first := runDiff(t, base, cur)
+	for i := 0; i < 8; i++ {
+		if _, out := runDiff(t, base, cur); out != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, out, first)
+		}
+	}
+}

@@ -13,16 +13,19 @@
 //	benchjson -diff BENCH_baseline.json
 //
 // With -diff, the run is additionally compared against a previously
-// written report: any benchmark whose ns/op regresses by more than 25%
-// against its same-named baseline entry fails the run (exit status 1),
-// which is how CI gates performance. Benchmarks present on only one side
-// are reported but never fail the gate.
+// written report: any benchmark whose ns/op or allocs/op regresses by
+// more than 25% against its same-named baseline entry fails the run
+// (exit status 1), which is how CI gates performance — wall time catches
+// slowdowns, allocation count catches hot-path allocations that a noisy
+// timer would hide. Benchmarks present on only one side are reported but
+// never fail the gate.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -36,7 +39,8 @@ import (
 	"texcache/internal/workload"
 )
 
-// regressionLimit is the ns/op ratio (new/old) above which -diff fails.
+// regressionLimit is the per-metric ratio (new/old) above which -diff
+// fails; it applies to ns/op and allocs/op alike.
 const regressionLimit = 1.25
 
 // benchResult is one benchmark's single-iteration sample.
@@ -63,7 +67,7 @@ func main() {
 
 func run() int {
 	out := flag.String("o", "BENCH_sweep.json", "output path")
-	diff := flag.String("diff", "", "baseline report to compare against; >25% ns/op regressions fail the run")
+	diff := flag.String("diff", "", "baseline report to compare against; >25% ns/op or allocs/op regressions fail the run")
 	flag.Parse()
 
 	scale := experiments.Bench()
@@ -222,8 +226,20 @@ func benchQuad() [2][3]raster.Vertex {
 	return [2][3]raster.Vertex{{tl, bl, br}, {tl, br, tr}}
 }
 
+// diffMetrics are the gated per-benchmark figures, in reporting order.
+// A metric with a zero or negative baseline value is reported but not
+// gated — a baseline with no recorded allocations cannot regress.
+var diffMetrics = []struct {
+	name string
+	get  func(benchResult) int64
+}{
+	{"ns/op", func(b benchResult) int64 { return b.NsPerOp }},
+	{"allocs/op", func(b benchResult) int64 { return b.AllocsPerOp }},
+}
+
 // diffReports compares the fresh report against a baseline artifact and
-// fails (exit 1) on any >25% ns/op regression of a same-named benchmark.
+// fails (exit 1) when any gated metric of a same-named benchmark
+// regresses beyond regressionLimit.
 func diffReports(path string, cur report) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -235,31 +251,42 @@ func diffReports(path string, cur report) int {
 		fmt.Fprintf(os.Stderr, "benchjson: diff: parsing %s: %v\n", path, err)
 		return 1
 	}
+	return diffAgainst(os.Stderr, path, base, cur)
+}
+
+// diffAgainst is the comparison core behind -diff, split from the file
+// handling so tests can drive it with synthetic reports. Output order is
+// deterministic: current benchmarks in report order with one line per
+// metric, then baseline-only leftovers sorted by name.
+func diffAgainst(w io.Writer, path string, base, cur report) int {
 	baseline := make(map[string]benchResult, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
 
-	failed := false
+	regressed := make(map[string]bool)
 	for _, b := range cur.Benchmarks {
 		old, ok := baseline[b.Name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: diff: %s: not in baseline, skipping\n", b.Name)
+			fmt.Fprintf(w, "benchjson: diff: %s: not in baseline, skipping\n", b.Name)
 			continue
 		}
 		delete(baseline, b.Name)
-		if old.NsPerOp <= 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: diff: %s: baseline ns/op %d, skipping\n", b.Name, old.NsPerOp)
-			continue
+		for _, m := range diffMetrics {
+			was, now := m.get(old), m.get(b)
+			if was <= 0 {
+				fmt.Fprintf(w, "benchjson: diff: %s: baseline %s %d, skipping\n", b.Name, m.name, was)
+				continue
+			}
+			ratio := float64(now) / float64(was)
+			verdict := "ok"
+			if ratio > regressionLimit {
+				verdict = "REGRESSION"
+				regressed[m.name] = true
+			}
+			fmt.Fprintf(w, "benchjson: diff: %-25s %12d -> %12d %s (%.2fx) %s\n",
+				b.Name, was, now, m.name, ratio, verdict)
 		}
-		ratio := float64(b.NsPerOp) / float64(old.NsPerOp)
-		verdict := "ok"
-		if ratio > regressionLimit {
-			verdict = "REGRESSION"
-			failed = true
-		}
-		fmt.Fprintf(os.Stderr, "benchjson: diff: %-25s %12d -> %12d ns/op (%.2fx) %s\n",
-			b.Name, old.NsPerOp, b.NsPerOp, ratio, verdict)
 	}
 	leftovers := make([]string, 0, len(baseline))
 	for name := range baseline {
@@ -267,13 +294,17 @@ func diffReports(path string, cur report) int {
 	}
 	sort.Strings(leftovers)
 	for _, name := range leftovers {
-		fmt.Fprintf(os.Stderr, "benchjson: diff: %s: in baseline only, skipping\n", name)
+		fmt.Fprintf(w, "benchjson: diff: %s: in baseline only, skipping\n", name)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: diff: ns/op regressed beyond %.0f%% against %s\n",
-			100*(regressionLimit-1), path)
+	if len(regressed) > 0 {
+		for _, m := range diffMetrics {
+			if regressed[m.name] {
+				fmt.Fprintf(w, "benchjson: diff: %s regressed beyond %.0f%% against %s\n",
+					m.name, 100*(regressionLimit-1), path)
+			}
+		}
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: diff: within %.0f%% of %s\n", 100*(regressionLimit-1), path)
+	fmt.Fprintf(w, "benchjson: diff: within %.0f%% of %s\n", 100*(regressionLimit-1), path)
 	return 0
 }

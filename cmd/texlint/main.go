@@ -5,11 +5,15 @@
 //	go run ./cmd/texlint ./...
 //	go run ./cmd/texlint -json ./internal/cache
 //	go run ./cmd/texlint -list
+//	go run ./cmd/texlint -only chanleak,chanprotocol,wgbalance,mapiter ./...
+//	go run ./cmd/texlint -skip mapiter ./...
 //	go run ./cmd/texlint -write-baseline lint.baseline ./...
 //	go run ./cmd/texlint -baseline lint.baseline ./...
 //
 // texlint loads every non-test package of the enclosing module, runs all
-// analyzers (or the comma-separated -analyzers subset) and prints one
+// analyzers — scoped by -only (run exactly these), -skip (run all but
+// these), or the legacy -analyzers list; an unknown name in any of them is
+// a usage error listing the registered analyzers — and prints one
 // diagnostic per line as
 //
 //	file:line: [analyzer] message
@@ -54,6 +58,8 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array")
 		list      = flag.Bool("list", false, "list analyzers and exit")
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		only      = flag.String("only", "", "run only these comma-separated analyzers")
+		skip      = flag.String("skip", "", "run all but these comma-separated analyzers")
 		baseline  = flag.String("baseline", "", "suppress findings recorded in this JSON baseline file")
 		writeBase = flag.String("write-baseline", "", "record current findings to this JSON baseline file and exit clean")
 		confPath  = flag.String("config", "", "package waiver file (default: "+lint.ConfigFile+" at the module root, if present)")
@@ -75,6 +81,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
+	}
+	suite, err := selectAnalyzers(suite, *only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
@@ -114,7 +125,11 @@ func run() int {
 		return 2
 	}
 
-	diags := lint.RunConfigured(pkgs, suite, conf)
+	diags, err := lint.RunConfigured(pkgs, suite, conf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		return 2
+	}
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].Pos.Filename = rel

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"texcache/internal/lint"
+)
+
+// selectAnalyzers applies the -only and -skip flags to the base suite.
+// -only keeps exactly the named analyzers (in registration order, so runs
+// stay deterministic regardless of how the flag lists them); -skip removes
+// the named ones; both together keep only minus skip. An unknown name in
+// either flag is a usage error whose message lists every registered
+// analyzer.
+func selectAnalyzers(base []*lint.Analyzer, only, skip string) ([]*lint.Analyzer, error) {
+	onlySet, err := nameSet(base, "-only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := nameSet(base, "-skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range base {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("texlint: -only/-skip selected no analyzers (registered: %s)", registered(base))
+	}
+	return out, nil
+}
+
+// nameSet parses one comma-separated flag value into a set, rejecting
+// names that are not in the suite. A nil map means the flag was not given.
+func nameSet(base []*lint.Analyzer, flagName, value string) (map[string]bool, error) {
+	if value == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(base))
+	for _, a := range base {
+		known[a.Name] = true
+	}
+	set := make(map[string]bool)
+	for _, name := range strings.Split(value, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("texlint: %s: unknown analyzer %q (registered: %s)", flagName, name, registered(base))
+		}
+		set[name] = true
+	}
+	return set, nil
+}
+
+// registered renders the suite's analyzer names for error messages.
+func registered(base []*lint.Analyzer) string {
+	names := make([]string, len(base))
+	for i, a := range base {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -84,6 +84,8 @@ func newRenderContext(render Config) (*renderContext, error) {
 // closes, which is the happens-before edge replay workers synchronise on.
 // On error the frame stays unpublished; the caller closes ready[f] with a
 // nil shard.
+//
+//texsim:publishes shards ready
 func (rt *renderedTrace) renderFrame(rc *renderContext, w *workload.Workload, render Config, f int) error {
 	enc := render.Tracer.Start("encode")
 	var buf shardBuffer

@@ -90,6 +90,8 @@ func (rt *renderedTrace) abort(from int) {
 // and feeding the optional working-set collector and reuse probe. When
 // render.Tracer is set, the pass records a "render" span with nested
 // per-frame "encode" and "shard-publish" spans.
+//
+//texsim:publishes shards ready
 func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *stats.Collector, reuse *reuseProbe) error {
 	sp := render.Tracer.Start("render")
 	defer sp.End()

@@ -117,6 +117,169 @@ func TestReachableFromLoop(t *testing.T) {
 	_ = second
 }
 
+// reachSet collects ReachableFrom into an identity set for assertions.
+func reachSet(g *CFG, from ast.Node) map[ast.Node]bool {
+	set := make(map[ast.Node]bool)
+	for _, n := range ReachableFrom(g, from, nil) {
+		set[n] = true
+	}
+	return set
+}
+
+// TestSelectDefaultInLoop: a select with a default clause inside a loop
+// must join both arms back into the loop body, and the loop back-edge
+// must make each arm reachable from the other on a later iteration.
+func TestSelectDefaultInLoop(t *testing.T) {
+	body := parseBody(t, `
+	for {
+		select {
+		case v := <-ch:
+			use(v)
+		default:
+			idle()
+		}
+		post()
+		if done() {
+			break
+		}
+	}
+	after()
+`)
+	g := BuildCFG(body)
+	loop := body.List[0].(*ast.ForStmt)
+	sel := loop.Body.List[0].(*ast.SelectStmt)
+	use := sel.Body.List[0].(*ast.CommClause).Body[0]
+	idle := sel.Body.List[1].(*ast.CommClause).Body[0]
+	post := loop.Body.List[1]
+	after := body.List[1]
+
+	fromIdle := reachSet(g, idle)
+	for _, want := range []struct {
+		name string
+		n    ast.Node
+	}{{"post()", post}, {"after()", after}, {"use(v) via back-edge", use}} {
+		if !fromIdle[want.n] {
+			t.Errorf("%s not reachable from idle()", want.name)
+		}
+	}
+	if !reachSet(g, use)[idle] {
+		t.Error("idle() not reachable from use(v) via the loop back-edge")
+	}
+}
+
+// TestLabeledBreakContinueOutOfSelect: break/continue with a loop label
+// inside a select must target the loop, not the select. A labeled break
+// exits the whole loop — the select's own fallthrough path (tail) must
+// not be reachable from it.
+func TestLabeledBreakContinueOutOfSelect(t *testing.T) {
+	body := parseBody(t, `
+	loop:
+	for {
+		select {
+		case v := <-in:
+			if v == 0 {
+				break loop
+			}
+			use(v)
+		case <-stop:
+			continue loop
+		}
+		tail()
+	}
+	after()
+`)
+	g := BuildCFG(body)
+	loop := body.List[0].(*ast.LabeledStmt).Stmt.(*ast.ForStmt)
+	sel := loop.Body.List[0].(*ast.SelectStmt)
+	recv := sel.Body.List[0].(*ast.CommClause)
+	brk := recv.Body[0].(*ast.IfStmt).Body.List[0]
+	use := recv.Body[1]
+	cont := sel.Body.List[1].(*ast.CommClause).Body[0]
+	tail := loop.Body.List[1]
+	after := body.List[1]
+
+	fromBreak := reachSet(g, brk)
+	if !fromBreak[after] {
+		t.Error("after() not reachable from `break loop`")
+	}
+	if fromBreak[tail] || fromBreak[use] {
+		t.Error("`break loop` must exit the loop, not fall through the select")
+	}
+	fromCont := reachSet(g, cont)
+	if !fromCont[use] || !fromCont[tail] {
+		t.Error("`continue loop` must re-enter the loop body via the back-edge")
+	}
+	if !fromCont[after] {
+		t.Error("after() not reachable from `continue loop` (via a later break)")
+	}
+}
+
+// TestLabeledBreakOutOfBareSelect: a label directly on a select makes
+// `break label` legal; it must jump past the select without executing
+// the other clause.
+func TestLabeledBreakOutOfBareSelect(t *testing.T) {
+	body := parseBody(t, `
+	done:
+	select {
+	case <-a:
+		break done
+	case <-b:
+		x()
+	}
+	after()
+`)
+	g := BuildCFG(body)
+	sel := body.List[0].(*ast.LabeledStmt).Stmt.(*ast.SelectStmt)
+	brk := sel.Body.List[0].(*ast.CommClause).Body[0]
+	x := sel.Body.List[1].(*ast.CommClause).Body[0]
+	after := body.List[1]
+
+	from := reachSet(g, brk)
+	if !from[after] {
+		t.Error("after() not reachable from `break done`")
+	}
+	if from[x] {
+		t.Error("the other select clause must not be reachable from `break done`")
+	}
+}
+
+// TestGoroutineSpawningMethodValues: go statements over bound method
+// values and stored method values are plain straight-line nodes — the
+// spawned body belongs to another goroutine's control flow, so a
+// function-literal goroutine's statements must not be lowered into the
+// spawner's graph.
+func TestGoroutineSpawningMethodValues(t *testing.T) {
+	body := parseBody(t, `
+	w := newWorker()
+	go w.Run()
+	step := w.Step
+	go step()
+	defer w.Close()
+	go func() {
+		w.Finish()
+	}()
+	<-done
+`)
+	g := BuildCFG(body)
+	for i, s := range body.List {
+		if g.BlockOf(s) == nil {
+			t.Errorf("statement %d (%T) not placed in any block", i, s)
+		}
+	}
+	// Control flows straight through every spawn to the final receive.
+	from := reachSet(g, body.List[0])
+	for i := 1; i < len(body.List); i++ {
+		if !from[body.List[i]] {
+			t.Errorf("statement %d (%T) not reachable from the first statement", i, body.List[i])
+		}
+	}
+	// The literal goroutine's body is not part of this graph.
+	lit := body.List[5].(*ast.GoStmt).Call.Fun.(*ast.FuncLit)
+	if g.BlockOf(lit.Body.List[0]) != nil {
+		t.Error("goroutine literal body was lowered into the spawning function's CFG")
+	}
+}
+
 // FuzzBuildCFG asserts totality: any body Go's parser accepts must yield
 // a CFG without panicking, and ReachableFrom must likewise be total.
 func FuzzBuildCFG(f *testing.F) {

@@ -1,0 +1,127 @@
+package lint
+
+import "testing"
+
+func TestChanleak(t *testing.T) {
+	src := `package chanleak
+
+import "sync"
+
+func compute() int { return 1 }
+func setup() error { return nil }
+func work()        {}
+
+// The motivating bug: an error path returns before the receive, stranding
+// the worker on its unbuffered send forever.
+func leakOnErrorPath() error {
+	ch := make(chan int)
+	go func() { ch <- compute() }() //want goroutine may block forever sending on ch
+	if err := setup(); err != nil {
+		return err
+	}
+	<-ch
+	return nil
+}
+
+// Receiver direction: the goroutine waits for a value no path provides.
+func leakReceiver() error {
+	done := make(chan int)
+	go func() { <-done }() //want goroutine may block forever receiving from done
+	if err := setup(); err != nil {
+		return err
+	}
+	done <- 1
+	return nil
+}
+
+func worker(ch chan int) { ch <- compute() }
+
+// The blocking send hides behind a helper call; the texflow summary makes
+// go worker(ch) as visible as a literal.
+func leakViaHelper() error {
+	ch := make(chan int)
+	go worker(ch) //want goroutine may block forever sending on ch
+	if err := setup(); err != nil {
+		return err
+	}
+	<-ch
+	return nil
+}
+
+// Every path receives: the worker is always released.
+func receivedOnAllPaths() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	return <-ch
+}
+
+// A buffered channel never blocks its single sender.
+func bufferedSend() error {
+	ch := make(chan int, 1)
+	go func() { ch <- compute() }()
+	if err := setup(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func drain(ch chan int) { <-ch }
+
+// A deferred receive (here via a summarized helper) covers every exit.
+func deferredRelease() error {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	defer drain(ch)
+	if err := setup(); err != nil {
+		return err
+	}
+	return nil
+}
+
+var sink chan int
+
+// The channel escapes to a global: peers outside the function may exist.
+func escapes() {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	sink = ch
+}
+
+// A second goroutine performs the complementary op: their lifetimes are
+// coupled, out of scope.
+func pairedGoroutines() error {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	go func() { <-ch }()
+	return setup()
+}
+
+// Ops under a select are not treated as guaranteed blocks.
+func selectNotBlocking(stop chan struct{}) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-stop:
+		}
+	}()
+}
+
+// Miniature of the sweep pool: buffered semaphore plus WaitGroup workers.
+func sweepPool(specs []int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+`
+	testAnalyzer(t, Chanleak, "chanleak", src)
+}

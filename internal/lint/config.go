@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // ConfigFile is the name of the waiver file at the module root.
@@ -30,16 +31,31 @@ func ParseConfig(data []byte) (*FileConfig, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("lint: parsing %s: %w", ConfigFile, err)
 	}
+	if name := firstUnknownAnalyzer(cfg.Allow); name != "" {
+		return nil, fmt.Errorf("lint: %s allows unknown analyzer %q", ConfigFile, name)
+	}
+	return &cfg, nil
+}
+
+// firstUnknownAnalyzer returns the lexically first waived analyzer name
+// that is not registered, or "". Sorted so the reported name does not
+// depend on map iteration order.
+func firstUnknownAnalyzer(allow map[string][]string) string {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	for name := range cfg.Allow {
+	names := make([]string, 0, len(allow))
+	for name := range allow {
 		if !known[name] {
-			return nil, fmt.Errorf("lint: %s allows unknown analyzer %q", ConfigFile, name)
+			names = append(names, name)
 		}
 	}
-	return &cfg, nil
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
 }
 
 // LoadConfig reads the waiver file from the module root. A missing file

@@ -22,7 +22,29 @@ func checkWaived(t *testing.T, path string, cfg *FileConfig) []Diagnostic {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return RunConfigured([]*Package{pkg}, []*Analyzer{Determinism}, cfg)
+	diags, err := RunConfigured([]*Package{pkg}, []*Analyzer{Determinism}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestRunConfiguredRejectsUnregisteredWaiver: a FileConfig built in code
+// (not via ParseConfig) with a typo'd analyzer name must be an error, not
+// a waiver that silently applies to nothing.
+func TestRunConfiguredRejectsUnregisteredWaiver(t *testing.T) {
+	pkg, err := CheckSource("texcache/internal/core", map[string]string{"fx.go": wallClockFixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &FileConfig{Allow: map[string][]string{
+		"determinsim": {"texcache/internal/core"}, // note the typo
+	}}
+	if _, err := RunConfigured([]*Package{pkg}, []*Analyzer{Determinism}, cfg); err == nil {
+		t.Fatal("unregistered waived analyzer name accepted")
+	} else if !strings.Contains(err.Error(), "determinsim") {
+		t.Errorf("error %q does not name the offending analyzer", err)
+	}
 }
 
 // TestConfigWaivesAllowlistedPackage: the same wall-clock-reading source

@@ -1,0 +1,200 @@
+package lint
+
+// Helpers shared by the texflow analyzers (chanleak, chanprotocol,
+// wgbalance): scope enumeration, channel/WaitGroup op collection that sees
+// through module helper calls via FlowFacts, and the CFG walk that asks
+// "can this function reach an exit without releasing a blocked goroutine".
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcScope is one function-like body: a declaration or a function
+// literal. Literals are separate scopes because their bodies run on their
+// own goroutine or call, not where they appear.
+type funcScope struct {
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+}
+
+// scopesOf enumerates every function-like body in the file: each FuncDecl
+// and each FuncLit anywhere inside it.
+func scopesOf(file *ast.File) []funcScope {
+	var out []funcScope
+	for _, d := range file.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		out = append(out, funcScope{body: fn.Body, decl: fn})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcScope{body: lit.Body, lit: lit})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectScope walks n in source order but does not descend into nested
+// function literals — those are their own scopes.
+func inspectScope(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// isModuleFunc reports whether obj is a function declared in one of the
+// packages under analysis (so texflow has a summary for it).
+func isModuleFunc(facts *Facts, obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || facts == nil {
+		return false
+	}
+	return facts.ModulePkgs[fn.Pkg().Path()]
+}
+
+// identIs reports whether e is a plain identifier for the variable v.
+func identIs(info *types.Info, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == v
+}
+
+// chanOpsIn collects the channel operations node n may perform on v,
+// skipping nested function literals and select statements, and folding in
+// the texflow summaries of module helper calls (drain(ch) counts as a
+// receive if drain's summary receives on that parameter).
+func chanOpsIn(info *types.Info, flow *FlowFacts, n ast.Node, v *types.Var) ChanOps {
+	var out ChanOps
+	inspectScope(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SelectStmt:
+			return false
+		case *ast.SendStmt:
+			if identIs(info, m.Chan, v) {
+				out.Sends = true
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && identIs(info, m.X, v) {
+				out.Recvs = true
+			}
+		case *ast.RangeStmt:
+			if identIs(info, m.X, v) {
+				out.Recvs = true
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, m, "close") && len(m.Args) == 1 && identIs(info, m.Args[0], v) {
+				out.Closes = true
+				return true
+			}
+			if flow != nil {
+				ops := flow.ChanArgOps(info, m, v)
+				out.Sends = out.Sends || ops.Sends
+				out.Recvs = out.Recvs || ops.Recvs
+				out.Closes = out.Closes || ops.Closes
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// wgIs reports whether e is wg or &wg for the variable v.
+func wgIs(info *types.Info, e ast.Expr, v *types.Var) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && info.Uses[id] == v
+}
+
+// wgOpsIn collects the WaitGroup operations node n may perform on v,
+// skipping nested function literals and folding in texflow summaries.
+func wgOpsIn(info *types.Info, flow *FlowFacts, n ast.Node, v *types.Var) WGOps {
+	var out WGOps
+	inspectScope(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && wgIs(info, sel.X, v) {
+			switch sel.Sel.Name {
+			case "Add":
+				out.Adds = true
+			case "Done":
+				out.Dones = true
+			case "Wait":
+				out.Waits = true
+			}
+			return true
+		}
+		if flow != nil {
+			ops := flow.WGArgOps(info, call, v)
+			out.Adds = out.Adds || ops.Adds
+			out.Dones = out.Dones || ops.Dones
+			out.Waits = out.Waits || ops.Waits
+		}
+		return true
+	})
+	return out
+}
+
+// canExitWithout reports whether, starting just after node start, the CFG
+// can reach a function exit (a block with no successors) on a path that
+// contains no node for which release returns true. It is the heart of
+// chanleak: a goroutine blocked on a channel leaks exactly when its
+// spawner can exit without performing the releasing operation.
+func canExitWithout(g *CFG, start ast.Node, release func(ast.Node) bool) bool {
+	startBlk := g.BlockOf(start)
+	if startBlk == nil {
+		// Start not in the graph (e.g. nested in an opaque construct):
+		// stay quiet rather than guess.
+		return false
+	}
+	from := 0
+	for i, n := range startBlk.Nodes {
+		if n == start {
+			from = i + 1
+			break
+		}
+	}
+	type visit struct {
+		b    *Block
+		from int
+	}
+	stack := []visit{{startBlk, from}}
+	seen := make(map[*Block]bool)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		released := false
+		for _, n := range v.b.Nodes[v.from:] {
+			if release(n) {
+				released = true
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		if len(v.b.Succs) == 0 {
+			return true
+		}
+		for _, s := range v.b.Succs {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, visit{s, 0})
+		}
+	}
+	return false
+}

@@ -9,6 +9,14 @@
 // counters, allocation-free hot paths, and the repo's panic and error
 // conventions.
 //
+// Thirteen analyzers run in three tiers: the syntactic tier
+// (determinism, counterwidth, hotpath, panicstyle, errcheck), the
+// CFG/dataflow tier (sharedstate, hotalloc, globalmut, purity) and the
+// interprocedural concurrency-protocol tier (chanleak, chanprotocol,
+// wgbalance, mapiter), which runs over per-function summaries of channel
+// and WaitGroup effects and map-order taint computed by a module-wide
+// fixpoint (FlowFacts).
+//
 // Diagnostics may be suppressed with a comment on the offending line or
 // the line directly above it:
 //
@@ -76,6 +84,9 @@ type Facts struct {
 	Pure map[*types.Func]bool
 	// ModulePkgs is the set of import paths analyzed together.
 	ModulePkgs map[string]bool
+	// Flow holds the texflow interprocedural summaries (channel and
+	// WaitGroup parameter ops, map-order taint, publication contracts).
+	Flow *FlowFacts
 }
 
 // HotMarker is the texvet alias of the hotpath marker; both name a
@@ -92,6 +103,7 @@ func CollectFacts(pkgs []*Package) *Facts {
 		Hot:        make(map[*types.Func]bool),
 		Pure:       make(map[*types.Func]bool),
 		ModulePkgs: make(map[string]bool),
+		Flow:       collectFlowFacts(pkgs),
 	}
 	for _, pkg := range pkgs {
 		f.ModulePkgs[pkg.Path] = true
@@ -155,6 +167,10 @@ func All() []*Analyzer {
 		Hotalloc,
 		Globalmut,
 		Purity,
+		Chanleak,
+		Chanprotocol,
+		Wgbalance,
+		Mapiter,
 	}
 }
 
@@ -179,13 +195,22 @@ func ByName(names []string) ([]*Analyzer, error) {
 // //texlint:ignore directives, and returns the remainder sorted by file,
 // line and analyzer. It applies no package waivers; see RunConfigured.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	return RunConfigured(pkgs, analyzers, nil)
+	diags, _ := RunConfigured(pkgs, analyzers, nil) // a nil config cannot be invalid
+	return diags
 }
 
 // RunConfigured is Run with a waiver config: analyzer x package pairs the
 // config allows are skipped entirely, so an allowlisted package neither
-// reports findings nor needs ignore comments for that analyzer.
-func RunConfigured(pkgs []*Package, analyzers []*Analyzer, cfg *FileConfig) []Diagnostic {
+// reports findings nor needs ignore comments for that analyzer. A config
+// that waives an analyzer name not registered in All() is an error — a
+// programmatically built FileConfig bypasses ParseConfig's validation,
+// and a typo'd name would otherwise silently waive nothing.
+func RunConfigured(pkgs []*Package, analyzers []*Analyzer, cfg *FileConfig) ([]Diagnostic, error) {
+	if cfg != nil {
+		if name := firstUnknownAnalyzer(cfg.Allow); name != "" {
+			return nil, fmt.Errorf("lint: config waives unregistered analyzer %q", name)
+		}
+	}
 	facts := CollectFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -211,7 +236,7 @@ func RunConfigured(pkgs []*Package, analyzers []*Analyzer, cfg *FileConfig) []Di
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, nil
 }
 
 // ignoreDirective is one parsed //texlint:ignore comment.

@@ -26,7 +26,11 @@ func TestRepositoryIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range RunConfigured(pkgs, All(), cfg) {
+	diags, err := RunConfigured(pkgs, All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 }

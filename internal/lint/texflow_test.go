@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// flowFixture type-checks one in-memory file and returns its package and
+// computed facts.
+func flowFixture(t *testing.T, src string) (*Package, *FlowFacts) {
+	t.Helper()
+	pkg, err := CheckSource("flowfix", map[string]string{"flowfix.go": src})
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	return pkg, CollectFacts([]*Package{pkg}).Flow
+}
+
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found (got %v)", name, obj)
+	}
+	return fn
+}
+
+func TestFlowFactsChanSummaries(t *testing.T) {
+	pkg, flow := flowFixture(t, `package flowfix
+
+func producer(ch chan int)  { ch <- 1 }
+func consumer(ch chan int)  { <-ch }
+func finisher(ch chan int)  { close(ch) }
+func drainAll(ch chan int)  { for range ch {} }
+func forwarder(ch chan int) { producer(ch) }
+func chain(ch chan int)     { forwarder(ch) }
+
+// Ops inside a select are excluded from summaries.
+func selective(ch chan int, stop chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-stop:
+	}
+}
+`)
+	cases := []struct {
+		fn   string
+		want ChanOps
+	}{
+		{"producer", ChanOps{Sends: true}},
+		{"consumer", ChanOps{Recvs: true}},
+		{"finisher", ChanOps{Closes: true}},
+		{"drainAll", ChanOps{Recvs: true}},
+		{"forwarder", ChanOps{Sends: true}}, // direct callee
+		{"chain", ChanOps{Sends: true}},     // two hops, needs the fixpoint
+		{"selective", ChanOps{}},
+	}
+	for _, c := range cases {
+		fn := lookupFunc(t, pkg, c.fn)
+		got := ChanOps{}
+		if ops := flow.ChanParams[fn][0]; ops != nil {
+			got = *ops
+		}
+		if got != c.want {
+			t.Errorf("%s: chan param ops = %+v, want %+v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestFlowFactsWGSummaries(t *testing.T) {
+	pkg, flow := flowFixture(t, `package flowfix
+
+import "sync"
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+func spawner(wg *sync.WaitGroup) {
+	wg.Add(1)
+	wg.Wait()
+}
+func viaHelper(wg *sync.WaitGroup) { worker(wg) }
+`)
+	cases := []struct {
+		fn   string
+		want WGOps
+	}{
+		{"worker", WGOps{Dones: true}},
+		{"spawner", WGOps{Adds: true, Waits: true}},
+		{"viaHelper", WGOps{Dones: true}},
+	}
+	for _, c := range cases {
+		fn := lookupFunc(t, pkg, c.fn)
+		got := WGOps{}
+		if ops := flow.WGParams[fn][0]; ops != nil {
+			got = *ops
+		}
+		if got != c.want {
+			t.Errorf("%s: wg param ops = %+v, want %+v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestFlowFactsMapOrderAndSinks(t *testing.T) {
+	pkg, flow := flowFixture(t, `package flowfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func keysOf(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeysOf(m map[string]int) []string {
+	out := keysOf(m)
+	sort.Strings(out)
+	return out
+}
+
+// Only the first result carries map order; the error stays clean.
+func keysAndErr(m map[string]int) ([]string, error) {
+	return keysOf(m), nil
+}
+
+func emitAll(vs []string) {
+	for _, v := range vs {
+		fmt.Println(v)
+	}
+}
+
+func passesThrough(vs []string) { emitAll(vs) }
+`)
+	if got := flow.MapOrdered[lookupFunc(t, pkg, "keysOf")]; !got[0] {
+		t.Errorf("keysOf result 0 not marked map-ordered: %v", got)
+	}
+	if got := flow.MapOrdered[lookupFunc(t, pkg, "sortedKeysOf")]; got[0] {
+		t.Errorf("sortedKeysOf marked map-ordered despite the sort: %v", got)
+	}
+	got := flow.MapOrdered[lookupFunc(t, pkg, "keysAndErr")]
+	if !got[0] || got[1] {
+		t.Errorf("keysAndErr map-ordered results = %v, want only index 0", got)
+	}
+	if !flow.ParamSinks[lookupFunc(t, pkg, "emitAll")][0] {
+		t.Errorf("emitAll param 0 not marked as sink-bound")
+	}
+	if !flow.ParamSinks[lookupFunc(t, pkg, "passesThrough")][0] {
+		t.Errorf("passesThrough param 0 not marked as sink-bound (needs fixpoint)")
+	}
+}
+
+func TestFlowFactsAnnotations(t *testing.T) {
+	pkg, flow := flowFixture(t, `package flowfix
+
+type rt struct {
+	shards [][]byte
+	ready  []chan struct{}
+}
+
+//texsim:publishes shards ready
+func (r *rt) publish(f int) {
+	r.shards[f] = nil
+	close(r.ready[f])
+}
+
+//texsim:closes ownership transferred
+func closeIt(ch chan int) { close(ch) }
+`)
+	scope := pkg.Types.Scope()
+	rtObj, _ := scope.Lookup("rt").(*types.TypeName)
+	if rtObj == nil {
+		t.Fatal("type rt not found")
+	}
+	var publish *types.Func
+	for fn := range flow.Publishes {
+		if fn.Name() == "publish" {
+			publish = fn
+		}
+	}
+	if publish == nil {
+		t.Fatal("publish annotation not recorded")
+	}
+	if f := flow.Publishes[publish]; len(f) != 2 || f[0] != "shards" || f[1] != "ready" {
+		t.Errorf("publish annotation fields = %v, want [shards ready]", f)
+	}
+	if !flow.Closers[lookupFunc(t, pkg, "closeIt")] {
+		t.Error("closeIt not recorded as sanctioned closer")
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+// wgbalance checks sync.WaitGroup accounting across goroutine boundaries.
+// The repo's pools all follow the same shape — wg.Add(1) in the spawning
+// loop, defer wg.Done() first thing in the worker, wg.Wait() after the
+// loop — and the analyzer enforces the properties that make that shape
+// correct:
+//
+//   - Add must happen before the go statement: an Add inside the spawned
+//     goroutine races with Wait, which can return before the goroutine is
+//     scheduled;
+//   - every goroutine that participates in a WaitGroup must guarantee a
+//     Done (directly, deferred, or via a module helper whose texflow
+//     summary calls Done), or Wait blocks forever;
+//   - a sync.WaitGroup must not be passed by value: Add/Done on a copy
+//     never reach the Wait on the original.
+//
+// The checks are presence-based, not counting-based: whether Add(1) per
+// iteration matches one Done per worker is undecidable statically, so a
+// goroutine with any Done on any path passes. Summaries make the checks
+// interprocedural: go worker(&wg) is as visible as a literal.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wgbalance reports WaitGroup Add/Done/Wait mismatches across goroutine
+// boundaries and by-value WaitGroup parameters.
+var Wgbalance = &Analyzer{
+	Name: "wgbalance",
+	Doc:  "sync.WaitGroup misuse: Add inside the spawned goroutine, missing Done, WaitGroup passed by value",
+	Run:  runWgbalance,
+}
+
+func runWgbalance(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, sc := range scopesOf(file) {
+			wgbalanceScope(pass, sc)
+		}
+	}
+}
+
+// localWaitGroups finds `var wg sync.WaitGroup` declarations in the scope.
+func localWaitGroups(info *types.Info, sc funcScope) []*types.Var {
+	var out []*types.Var
+	inspectScope(sc.body, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for _, name := range spec.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok || !isWaitGroup(v.Type()) {
+				continue
+			}
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// goWGOps returns the WaitGroup ops the goroutine started by g may
+// perform on v, whether the goroutine references v at all, and whether
+// those references are fully understood (false when v is handed to a
+// function outside the module, whose behaviour is unknown).
+func goWGOps(facts *Facts, info *types.Info, g *ast.GoStmt, v *types.Var) (ops WGOps, refs, known bool) {
+	var flow *FlowFacts
+	if facts != nil {
+		flow = facts.Flow
+	}
+	known = true
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+				refs = true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// &wg escaping into foreign code makes the goroutine's
+			// accounting unknowable.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && wgIs(info, sel.X, v) {
+				return true // wg.Add/Done/Wait themselves
+			}
+			for _, arg := range call.Args {
+				if wgIs(info, arg, v) && !isModuleFunc(facts, calleeObj(info, call)) {
+					known = false
+				}
+			}
+			return true
+		})
+		return wgOpsIn(info, flow, lit.Body, v), refs, known
+	}
+	for _, arg := range g.Call.Args {
+		if wgIs(info, arg, v) {
+			if flow != nil {
+				ops = flow.WGArgOps(info, g.Call, v)
+			}
+			return ops, true, isModuleFunc(facts, calleeObj(info, g.Call))
+		}
+	}
+	return WGOps{}, false, true
+}
+
+func wgbalanceScope(pass *Pass, sc funcScope) {
+	info := pass.Pkg.Info
+
+	// By-value WaitGroup parameters (declarations only; literals cannot
+	// usefully be annotated).
+	if sc.decl != nil && sc.decl.Type.Params != nil {
+		for _, field := range sc.decl.Type.Params.List {
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); !isPtr && isWaitGroup(t) {
+				pass.Reportf(field.Pos(), "sync.WaitGroup passed by value: Add/Done act on a copy and never release the caller's Wait")
+			}
+		}
+	}
+
+	flow := pass.Facts.Flow
+	wgs := localWaitGroups(info, sc)
+	if len(wgs) == 0 {
+		return
+	}
+	var gos []*ast.GoStmt
+	inspectScope(sc.body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+
+	for _, v := range wgs {
+		// Ops in the spawner itself. Goroutine subtrees are excluded: the
+		// literal bodies are skipped here and judged per-goroutine below.
+		var main WGOps
+		inspectScope(sc.body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ops := wgOpsIn(info, flow, call, v)
+			main.Adds = main.Adds || ops.Adds
+			main.Dones = main.Dones || ops.Dones
+			main.Waits = main.Waits || ops.Waits
+			return true
+		})
+
+		// A wg.Add statement immediately before a go statement pairs the
+		// two: that goroutine owes the matching Done even if its body
+		// never mentions wg (the classic forgotten-Done shape).
+		paired := make(map[*ast.GoStmt]bool)
+		inspectScope(sc.body, func(n ast.Node) bool {
+			blk, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i := 0; i+1 < len(blk.List); i++ {
+				g, ok := blk.List[i+1].(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if _, isGo := blk.List[i].(*ast.GoStmt); isGo {
+					continue
+				}
+				if wgOpsIn(info, flow, blk.List[i], v).Adds {
+					paired[g] = true
+				}
+			}
+			return true
+		})
+
+		for _, g := range gos {
+			ops, refs, known := goWGOps(pass.Facts, info, g, v)
+			if (!refs && !paired[g]) || !known {
+				continue
+			}
+			if ops.Adds && main.Waits && !main.Adds {
+				pass.Reportf(g.Pos(), "%s.Add is called inside the spawned goroutine: Wait can return before the goroutine runs; call Add before the go statement", v.Name())
+			}
+			if !ops.Dones && main.Adds && main.Waits {
+				pass.Reportf(g.Pos(), "goroutine spawned for %s never calls Done on any path: Wait may block forever", v.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package lint
+
+import "testing"
+
+func TestWgbalance(t *testing.T) {
+	src := `package wgbalance
+
+import "sync"
+
+func work() {}
+
+// Add inside the spawned goroutine races with Wait: the main goroutine
+// can reach Wait (counter zero) before any worker is scheduled.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		go func() { //want Add is called inside the spawned goroutine
+			wg.Add(1)
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// The classic forgotten Done: Add pairs with the go statement right after
+// it, and the goroutine never decrements.
+func forgottenDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { //want never calls Done
+		work()
+	}()
+	wg.Wait()
+}
+
+// Correct pool shape (prefetch/sweep miniature): Add before go, deferred
+// Done first thing in the worker, Wait after the loop.
+func pool(jobs []int) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 2)
+	for range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// The Done lives in a helper; the texflow summary sees through the call.
+func poolViaHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func byValue(wg sync.WaitGroup) { //want passed by value
+	wg.Wait()
+}
+
+// A goroutine that never touches the WaitGroup and is not Add-paired is
+// none of our business.
+func unrelatedGoroutine() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{}, 1)
+	go func() { done <- struct{}{} }()
+	go worker(&wg)
+	wg.Wait()
+	<-done
+}
+`
+	testAnalyzer(t, Wgbalance, "wgbalance", src)
+}
