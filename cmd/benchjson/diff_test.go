@@ -66,6 +66,32 @@ func TestDiffAllocsRegressionFailsAlone(t *testing.T) {
 	}
 }
 
+func TestDiffBytesRegressionFailsAlone(t *testing.T) {
+	// Same timer, same allocation count, but each allocation grew — the
+	// shape of the sweep engine's buffer-growth blowup, where the parallel
+	// path allocated ~90x the serial bytes at a near-identical alloc count.
+	withBytes := func(b benchResult, n int64) benchResult {
+		b.BytesPerOp = n
+		return b
+	}
+	code, out := runDiff(t,
+		[]benchResult{withBytes(bench("A", 1000, 100), 1_000_000)},
+		[]benchResult{withBytes(bench("A", 1000, 100), 90_000_000)},
+	)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "bytes/op regressed beyond 25%") {
+		t.Errorf("missing bytes/op failure summary:\n%s", out)
+	}
+	if strings.Contains(out, "ns/op regressed") || strings.Contains(out, "allocs/op regressed") {
+		t.Errorf("other metrics wrongly blamed:\n%s", out)
+	}
+	if !strings.Contains(out, "90000000 bytes/op (90.00x) REGRESSION") {
+		t.Errorf("missing per-benchmark bytes/op line:\n%s", out)
+	}
+}
+
 func TestDiffZeroBaselineAllocsSkipped(t *testing.T) {
 	// A baseline that recorded no allocations cannot gate them.
 	code, out := runDiff(t,

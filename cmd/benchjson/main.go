@@ -13,12 +13,14 @@
 //	benchjson -diff BENCH_baseline.json
 //
 // With -diff, the run is additionally compared against a previously
-// written report: any benchmark whose ns/op or allocs/op regresses by
-// more than 25% against its same-named baseline entry fails the run
-// (exit status 1), which is how CI gates performance — wall time catches
-// slowdowns, allocation count catches hot-path allocations that a noisy
-// timer would hide. Benchmarks present on only one side are reported but
-// never fail the gate.
+// written report: any benchmark whose ns/op, allocs/op or bytes/op
+// regresses by more than 25% against its same-named baseline entry fails
+// the run (exit status 1), which is how CI gates performance — wall time
+// catches slowdowns, allocation count catches hot-path allocations that
+// a noisy timer would hide, and allocated bytes catch buffer-growth
+// blowups (the parallel sweep once allocated 90x the serial engine's
+// bytes at an almost identical allocation count). Benchmarks present on
+// only one side are reported but never fail the gate.
 package main
 
 import (
@@ -67,7 +69,7 @@ func main() {
 
 func run() int {
 	out := flag.String("o", "BENCH_sweep.json", "output path")
-	diff := flag.String("diff", "", "baseline report to compare against; >25% ns/op or allocs/op regressions fail the run")
+	diff := flag.String("diff", "", "baseline report to compare against; >25% ns/op, allocs/op or bytes/op regressions fail the run")
 	flag.Parse()
 
 	scale := experiments.Bench()
@@ -235,6 +237,7 @@ var diffMetrics = []struct {
 }{
 	{"ns/op", func(b benchResult) int64 { return b.NsPerOp }},
 	{"allocs/op", func(b benchResult) int64 { return b.AllocsPerOp }},
+	{"bytes/op", func(b benchResult) int64 { return b.BytesPerOp }},
 }
 
 // diffReports compares the fresh report against a baseline artifact and

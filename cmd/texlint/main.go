@@ -259,7 +259,7 @@ func filterPackages(pkgs []*lint.Package, root, cwd string, patterns []string) [
 		dir     string // absolute
 		subtree bool
 	}
-	var rules []rule
+	rules := make([]rule, 0, len(patterns))
 	for _, p := range patterns {
 		subtree := false
 		if strings.HasSuffix(p, "/...") {

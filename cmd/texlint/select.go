@@ -22,7 +22,7 @@ func selectAnalyzers(base []*lint.Analyzer, only, skip string) ([]*lint.Analyzer
 	if err != nil {
 		return nil, err
 	}
-	var out []*lint.Analyzer
+	out := make([]*lint.Analyzer, 0, len(base))
 	for _, a := range base {
 		if onlySet != nil && !onlySet[a.Name] {
 			continue

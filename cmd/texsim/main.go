@@ -265,8 +265,9 @@ func selectSpecs(arg string) ([]core.CacheSpec, error) {
 		valid = append(valid, s.Name)
 		byName[s.Name] = s
 	}
-	var specs []core.CacheSpec
-	for _, name := range strings.Split(arg, ",") {
+	names := strings.Split(arg, ",")
+	specs := make([]core.CacheSpec, 0, len(names))
+	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue

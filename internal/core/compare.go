@@ -138,16 +138,19 @@ func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Com
 	return runComparisonSerial(w, render, specs)
 }
 
-// runComparisonSerial is the legacy single-goroutine engine, kept as the
-// reference implementation the parallel path is tested against.
-func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec) (*Comparison, error) {
-	set := w.Scene.Textures
-	set.MustPrepare(texture.CanonicalL1())
-
+// buildMultiSink builds the shared-translation fan-out sink both engines
+// drive: one hierarchy per spec (readable through sink.specs, parallel
+// to specs), with address translation shared across all specs that use
+// the same L2 layout — each distinct layout is translated once per
+// texel, however many specs consume it.
+func buildMultiSink(set *texture.Set, specs []CacheSpec) (*multiSink, error) {
 	sink := &multiSink{canon: set.Tilings(texture.CanonicalL1())}
+	sink.specs = make([]specState, 0, len(specs))
+	// Every spec contributes at most one layout, so len(specs) bounds the
+	// deduplicated layout table.
+	sink.layouts = make([]*layoutXlate, 0, len(specs))
 	layoutIndex := map[texture.TileLayout]int{}
 
-	cmp := &Comparison{Workload: w.Name, Render: render}
 	for _, spec := range specs {
 		ways := spec.L1Ways
 		if ways == 0 {
@@ -188,6 +191,29 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 			}
 		}
 		sink.specs = append(sink.specs, specState{hier: hier, layoutIdx: layoutIdx})
+	}
+	return sink, nil
+}
+
+// runComparisonSerial is the legacy single-goroutine engine, kept as the
+// reference implementation the parallel path is tested against.
+func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec) (*Comparison, error) {
+	set := w.Scene.Textures
+	set.MustPrepare(texture.CanonicalL1())
+
+	sink, err := buildMultiSink(set, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	cmp := &Comparison{
+		Workload:    w.Name,
+		Render:      render,
+		Specs:       make([]string, 0, len(specs)),
+		Results:     make([]*Results, 0, len(specs)),
+		FramePixels: make([]int64, 0, render.Frames),
+	}
+	for _, spec := range specs {
 		cmp.Specs = append(cmp.Specs, spec.Name)
 		cmp.Results = append(cmp.Results, &Results{
 			Workload: w.Name, Config: specConfig(render, spec),

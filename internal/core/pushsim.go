@@ -70,7 +70,11 @@ func RunPush(w *workload.Workload, render Config, pushCfg push.Config) (*PushRes
 	}))
 	pipeline := scene.NewPipeline(rast)
 
-	res := &PushResults{Workload: w.Name, Config: pushCfg}
+	res := &PushResults{
+		Workload: w.Name,
+		Config:   pushCfg,
+		Frames:   make([]PushFrame, 0, render.Frames),
+	}
 	aspect := float64(render.Width) / float64(render.Height)
 	var prev push.Stats
 	for f := 0; f < render.Frames; f++ {

@@ -1,16 +1,17 @@
 // Frame-parallel render farm. The sweep engine in sweep.go made replay
 // parallel, which left the serial render pass as the wall-clock floor of
 // every comparison. Frames are the natural unit of independence: each
-// trace shard is a complete, independently decodable stream (its delta
-// coder restarts at the shard boundary), the rasterizer clears all
+// frame's trace is a complete, independently decodable stream (its delta
+// coder restarts at the frame boundary), the rasterizer clears all
 // per-frame state in BeginFrame, and the camera is a pure function of the
 // frame index. So a pool of workers — each owning a full render context
 // (rasterizer, z-buffer, pipeline, trace writer) and sharing only the
 // read-only scene and prepared texture set — renders frames out of order
-// and publishes shard f exactly as the serial pass does: store shards[f],
-// close(ready[f]). Replay workers already consume that happens-before
-// contract, so the downstream pool needs no changes and the assembled
-// Comparison is byte-identical at every worker count.
+// and publishes frame f exactly as the serial pass does: pooled chunks
+// into frames[f] as they fill, then finish. Replay workers already
+// consume that chunkSeq contract, so the downstream pool needs no
+// changes and the assembled Comparison is byte-identical at every worker
+// count.
 //
 // The two collectors with cross-frame state (the §4 working-set collector
 // stamps blocks with the frame that last touched them; the reuse probe
@@ -79,41 +80,39 @@ func newRenderContext(render Config) (*renderContext, error) {
 	return rc, nil
 }
 
-// renderFrame renders and encodes frame f into its shard, then publishes
-// it: pipeline stats, pixels and shard bytes are stored before ready[f]
-// closes, which is the happens-before edge replay workers synchronise on.
-// On error the frame stays unpublished; the caller closes ready[f] with a
-// nil shard.
-//
-//texsim:publishes shards ready
+// renderFrame renders and encodes frame f, publishing pooled chunks into
+// frames[f] as they fill; pipeline stats and pixels are stored before the
+// chunkSeq finishes, which is the happens-before edge replay workers
+// synchronise on. On error the frame's partial chunks are abandoned and
+// the caller aborts the sequence.
 func (rt *renderedTrace) renderFrame(rc *renderContext, w *workload.Workload, render Config, f int) error {
 	enc := render.Tracer.Start("encode")
-	var buf shardBuffer
-	tw := trace.NewWriter(&buf)
+	cw := &chunkWriter{rt: rt, seq: rt.frames[f], f: f}
+	tw := trace.NewWriter(cw)
 	rc.sink.W = tw
 	tw.BeginFrame()
 	pst := rc.pipeline.RenderFrame(w.Scene, w.Camera(rc.aspect, f, render.Frames))
 	tw.EndFrame(rc.rast.Pixels())
 	if err := tw.Close(); err != nil {
 		enc.End()
+		cw.abandon()
 		return fmt.Errorf("core: sweep: encoding frame %d: %w", f, err)
 	}
 	enc.End()
 	pub := render.Tracer.Start("shard-publish")
 	rt.pipeline[f] = pst
 	rt.pixels[f] = rc.rast.Pixels()
-	rt.shards[f] = buf.data
-	close(rt.ready[f])
+	cw.finish()
 	pub.End()
 	return nil
 }
 
 // renderFrames is one farm worker's loop: claim the next unrendered frame
 // from the shared counter, render it, repeat. Every claimed frame is
-// published exactly once — after this worker's first error, later claims
-// are published as nil shards so blocked replay workers drain instead of
-// waiting forever (frames claimed by other workers keep rendering; replay
-// stops at the first nil shard in frame order).
+// resolved exactly once — after this worker's first error, later claims
+// are aborted so blocked replay workers drain instead of waiting forever
+// (frames claimed by other workers keep rendering; replay stops at the
+// first aborted frame in frame order).
 func (rt *renderedTrace) renderFrames(rc *renderContext, w *workload.Workload, render Config, next *atomic.Int64) error {
 	var firstErr error
 	frames := int64(render.Frames)
@@ -123,12 +122,12 @@ func (rt *renderedTrace) renderFrames(rc *renderContext, w *workload.Workload, r
 			return firstErr
 		}
 		if firstErr != nil {
-			close(rt.ready[f]) // shard stays nil: render aborted
+			rt.frames[f].abort()
 			continue
 		}
 		if err := rt.renderFrame(rc, w, render, int(f)); err != nil {
 			firstErr = err
-			close(rt.ready[f])
+			rt.frames[f].abort()
 		}
 	}
 }
@@ -171,36 +170,27 @@ func (h *statsHandler) EndFrame(pixels int64) {
 	h.frame++
 }
 
-// replayStats drives the collectors through every shard in frame order on
-// the coordinator goroutine, overlapping the farm workers. A nil shard
-// means a worker failed; that worker reports the error, so this just
-// stops.
-func (rt *renderedTrace) replayStats(collect *stats.Collector, reuse *reuseProbe) error {
+// replayStats drives the collectors through every frame's chunks in
+// order on the coordinator goroutine, overlapping the farm workers, as
+// chunk consumer ci. An aborted frame means a worker failed; that worker
+// reports the error, so this just stops.
+func (rt *renderedTrace) replayStats(collect *stats.Collector, reuse *reuseProbe, ci int) error {
 	if collect == nil && reuse == nil {
 		return nil
 	}
 	h := &statsHandler{rt: rt, collect: collect, reuse: reuse}
-	for f := range rt.shards {
-		<-rt.ready[f]
-		shard := rt.shards[f]
-		if shard == nil {
-			return nil
-		}
-		if _, err := trace.ReplayBytes(shard, h); err != nil {
-			return fmt.Errorf("core: sweep stats replay: %w", err)
-		}
-	}
-	return nil
+	return rt.consume(ci, h)
 }
 
 // renderFarm is the frame-parallel counterpart of renderedTrace.render:
-// workers render frames out of order into per-frame shards while the
-// coordinator replays published shards in frame order for the serial
-// collectors. The assembled output is byte-identical to the serial pass
-// at every worker count — shard bytes are a function of the frame alone,
+// workers render frames out of order into per-frame chunk sequences
+// while the coordinator replays published chunks in frame order for the
+// serial collectors (as chunk consumer statsCi; -1 when no collectors
+// run). The assembled output is byte-identical to the serial pass at
+// every worker count — shard bytes are a function of the frame alone,
 // and the frame-ordered stats replay reproduces the serial collector
 // sequence.
-func (rt *renderedTrace) renderFarm(w *workload.Workload, render Config, collect *stats.Collector, reuse *reuseProbe, workers int) error {
+func (rt *renderedTrace) renderFarm(w *workload.Workload, render Config, collect *stats.Collector, reuse *reuseProbe, workers, statsCi int) error {
 	sp := render.Tracer.Start("render")
 	defer sp.End()
 
@@ -232,7 +222,7 @@ func (rt *renderedTrace) renderFarm(w *workload.Workload, render Config, collect
 		}(k)
 	}
 
-	statsErr := rt.replayStats(collect, reuse)
+	statsErr := rt.replayStats(collect, reuse, statsCi)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -76,20 +76,23 @@ func TestRenderFarmShardIdentity(t *testing.T) {
 	w := workload.Village()
 	render := farmRenderConfig()
 
-	serial := newRenderedTrace(render.Frames)
+	// Zero consumers puts the traces in retain mode: chunks are never
+	// recycled, so each frame's full shard bytes stay joinable.
+	serial := newRenderedTrace(render.Frames, 0)
 	if err := serial.render(w, render, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	for _, workers := range farmWorkerCounts()[1:] {
-		farm := newRenderedTrace(render.Frames)
-		if err := farm.renderFarm(w, render, nil, nil, workers); err != nil {
+		farm := newRenderedTrace(render.Frames, 0)
+		if err := farm.renderFarm(w, render, nil, nil, workers, -1); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		for f := range serial.shards {
-			if !bytes.Equal(serial.shards[f], farm.shards[f]) {
+		for f := range serial.frames {
+			sb, fb := serial.frames[f].bytes(), farm.frames[f].bytes()
+			if !bytes.Equal(sb, fb) {
 				t.Errorf("workers=%d frame %d: shard bytes differ (serial %d bytes, farm %d bytes)",
-					workers, f, len(serial.shards[f]), len(farm.shards[f]))
+					workers, f, len(sb), len(fb))
 			}
 			if serial.pipeline[f] != farm.pipeline[f] {
 				t.Errorf("workers=%d frame %d: pipeline stats differ", workers, f)

@@ -187,7 +187,11 @@ func buildHierarchy(set *texture.Set, cfg Config) (*cache.Hierarchy, *addrSink, 
 
 // Run simulates all frames and returns the results.
 func (s *Simulator) Run() (*Results, error) {
-	res := &Results{Workload: s.w.Name, Config: s.cfg}
+	res := &Results{
+		Workload: s.w.Name,
+		Config:   s.cfg,
+		Frames:   make([]FrameResult, 0, s.cfg.Frames),
+	}
 	aspect := float64(s.cfg.Width) / float64(s.cfg.Height)
 	prev := s.hier.Counters()
 	for f := 0; f < s.cfg.Frames; f++ {

@@ -3,21 +3,28 @@
 // through many cache configurations (§3.3). The serial fan-out in
 // compare.go interleaves rendering and all cache simulations in a single
 // goroutine, so an N-spec sweep costs render + N×sim on one core. This
-// engine instead renders the workload once into an in-memory sharded
+// engine instead renders the workload once into an in-memory chunked
 // trace (the internal/trace varint encoding, one independently decodable
-// shard per frame) and replays the shards through each spec's hierarchy
-// concurrently on a bounded worker pool. Workers consume shards as the
-// render pass publishes them, so replay overlaps rendering instead of
-// waiting for it. Results are assembled in spec order and are
-// byte-identical to the serial path: the trace encoding is lossless,
-// every hierarchy sees the identical reference stream, and per-frame
-// counter snapshots follow the same arithmetic.
+// stream per frame, stored in pooled fixed-size chunks — see chunk.go)
+// and replays it through the specs concurrently: the specs are
+// partitioned into one group per worker, each group decodes the stream
+// once per frame through a trace.ShardDecoder and fans every texel out
+// to its hierarchies. Workers consume chunks as the render pass
+// publishes them, so replay overlaps rendering, and the last consumer
+// to release a chunk recycles it — steady-state memory is the pool
+// budget, not the trace length. Results are assembled in spec order and
+// are byte-identical to the serial path: the trace encoding is
+// lossless, every hierarchy sees the identical reference stream, and
+// per-frame counter snapshots follow the same arithmetic.
 package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"texcache/internal/cache"
 	"texcache/internal/raster"
@@ -47,51 +54,140 @@ func sweepWorkers(parallelism, nspecs int) int {
 
 // renderedTrace is the texel reference stream sharded by frame, plus
 // everything else the assembled Comparison needs from the render pass.
-// Shards are complete streams (header plus one whole frame), so each
-// replays independently and the per-frame delta coder restarts at every
-// shard boundary. The producer (render pass) publishes shard f by closing
-// ready[f] after storing shards[f]; the channel close is the
-// happens-before edge that lets replay workers read the shard while later
-// frames are still rendering. pipeline, pixels and stats are touched only
-// by the producer and, after all workers are joined, the coordinator.
+// Each frame is a complete stream (header plus one whole frame) held as
+// a chunkSeq, so it replays independently and the per-frame delta coder
+// restarts at every frame boundary. Consumers (replay groups, the
+// farm's stats replay) are registered up front: every published chunk
+// starts with one reference per consumer and returns to the pool when
+// the last one releases it. With zero consumers the trace is retained
+// whole — the mode tests use to compare shard bytes directly. pipeline,
+// pixels and stats are touched only by the render pass and, after all
+// workers are joined, the coordinator.
 type renderedTrace struct {
-	shards [][]byte
-	ready  []chan struct{}
+	pool      *chunkPool
+	frames    []*chunkSeq
+	consumers int
+	// pos[ci] is the frame consumer ci is currently draining; its
+	// minimum is the consumption floor that unblocks that frame's
+	// producer at the pool budget (math.MaxInt64 once detached).
+	pos []atomic.Int64
 
 	pipeline []scene.FrameStats
 	pixels   []int64
 	stats    []stats.Frame // per frame, when collecting
 }
 
-func newRenderedTrace(frames int) *renderedTrace {
+func newRenderedTrace(frames, consumers int) *renderedTrace {
 	rt := &renderedTrace{
-		shards:   make([][]byte, frames),
-		ready:    make([]chan struct{}, frames),
-		pipeline: make([]scene.FrameStats, frames),
-		pixels:   make([]int64, frames),
+		pool:      newChunkPool(),
+		frames:    make([]*chunkSeq, frames),
+		consumers: consumers,
+		pos:       make([]atomic.Int64, consumers),
+		pipeline:  make([]scene.FrameStats, frames),
+		pixels:    make([]int64, frames),
 	}
-	for f := range rt.ready {
-		rt.ready[f] = make(chan struct{})
+	for f := range rt.frames {
+		rt.frames[f] = newChunkSeq()
 	}
 	return rt
 }
 
-// abort publishes every not-yet-rendered shard as nil so that blocked
-// workers wake up and drain instead of waiting forever.
-func (rt *renderedTrace) abort(from int) {
-	for f := from; f < len(rt.ready); f++ {
-		close(rt.ready[f])
+// floor returns the lowest frame any consumer is still draining;
+// math.MaxInt64 with no (or only detached) consumers.
+func (rt *renderedTrace) floor() int64 {
+	lo := int64(math.MaxInt64)
+	for i := range rt.pos {
+		if p := rt.pos[i].Load(); p < lo {
+			lo = p
+		}
+	}
+	return lo
+}
+
+// acquire hands the producer of frame f an empty chunk. At the pool
+// budget it blocks until a consumer releases one — unless f is at (or
+// past) the consumption floor: consumers are waiting on this very
+// frame, so blocking would deadlock and the pool grows instead.
+func (rt *renderedTrace) acquire(f int) *chunk {
+	return rt.pool.acquire(func() bool { return rt.floor() >= int64(f) })
+}
+
+// advance records that consumer ci is now draining frame f and
+// re-evaluates blocked producers, whose frame may have become the floor.
+func (rt *renderedTrace) advance(ci, f int) {
+	rt.pos[ci].Store(int64(f))
+	rt.pool.wake()
+}
+
+// detach removes consumer ci from the floor so producers stop waiting
+// on it; deferred by every consumer so no exit path strands a blocked
+// producer.
+func (rt *renderedTrace) detach(ci int) {
+	rt.pos[ci].Store(math.MaxInt64)
+	rt.pool.wake()
+}
+
+// release drops one consumer reference; the last reference recycles the
+// chunk.
+func (rt *renderedTrace) release(c *chunk) {
+	if c.refs.Add(-1) == 0 {
+		rt.pool.put(c)
 	}
 }
 
+// abort marks every frame from f on as dead so that blocked consumers
+// wake up and drain instead of waiting forever.
+func (rt *renderedTrace) abort(from int) {
+	for f := from; f < len(rt.frames); f++ {
+		rt.frames[f].abort()
+	}
+}
+
+// wasAborted reports whether any abort hit the trace (abort always
+// covers the trailing frame).
+func (rt *renderedTrace) wasAborted() bool {
+	n := len(rt.frames)
+	return n > 0 && rt.frames[n-1].wasAborted()
+}
+
+// consume drives handler h through every frame's chunks in order as
+// consumer ci, releasing each chunk as soon as it is decoded
+// (ShardDecoder carries straddling operations internally, so a released
+// chunk is never referenced again). Returns nil when the render
+// aborted: the producer owns that error.
+func (rt *renderedTrace) consume(ci int, h trace.Handler) error {
+	defer rt.detach(ci)
+	var dec trace.ShardDecoder
+	for f, seq := range rt.frames {
+		rt.advance(ci, f)
+		dec.Reset()
+		for i := 0; ; i++ {
+			c, ok := seq.next(i)
+			if !ok {
+				break
+			}
+			err := dec.Feed(c.data, h)
+			rt.release(c)
+			if err != nil {
+				return fmt.Errorf("core: sweep replay: %w", err)
+			}
+		}
+		if seq.wasAborted() {
+			return nil
+		}
+		if _, err := dec.Finish(h); err != nil {
+			return fmt.Errorf("core: sweep replay: %w", err)
+		}
+	}
+	return nil
+}
+
 // render renders every frame of the workload under render's resolution,
-// frame count and filter, encoding the reference stream into one shard
-// per frame — published to the replay workers as soon as it is complete —
+// frame count and filter, encoding the reference stream into pooled
+// chunks — each published to the replay workers as soon as it fills —
 // and feeding the optional working-set collector and reuse probe. When
 // render.Tracer is set, the pass records a "render" span with nested
 // per-frame "encode" and "shard-publish" spans.
-//
-//texsim:publishes shards ready
 func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *stats.Collector, reuse *reuseProbe) error {
 	sp := render.Tracer.Start("render")
 	defer sp.End()
@@ -130,8 +226,8 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 
 	for f := 0; f < render.Frames; f++ {
 		enc := render.Tracer.Start("encode")
-		var buf shardBuffer
-		tw = trace.NewWriter(&buf)
+		cw := &chunkWriter{rt: rt, seq: rt.frames[f], f: f}
+		tw = trace.NewWriter(cw)
 		ts.W = tw
 		tw.BeginFrame()
 		if collect != nil {
@@ -141,6 +237,7 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		tw.EndFrame(rast.Pixels())
 		if err := tw.Close(); err != nil {
 			enc.End()
+			cw.abandon()
 			rt.abort(f)
 			return fmt.Errorf("core: sweep: encoding frame %d: %w", f, err)
 		}
@@ -152,105 +249,138 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 			collect.AddPixels(rast.Pixels())
 			rt.stats[f] = collect.EndFrame()
 		}
-		rt.shards[f] = buf.data
-		close(rt.ready[f])
+		cw.finish()
 		pub.End()
 	}
 	return nil
 }
 
-// shardBuffer is a minimal append-only byte sink for one shard.
-type shardBuffer struct{ data []byte }
-
-func (b *shardBuffer) Write(p []byte) (int, error) {
-	b.data = append(b.data, p...)
-	return len(p), nil
-}
-
-// sweepHandler feeds one spec's hierarchy from replayed shards,
-// reproducing exactly the FrameResults the serial fan-out produces for
-// that spec. Unlike replayHandler (which guards ReplayTrace against
-// hostile external streams), it performs no per-texel validation: sweep
-// shards are encoded in-process from rasterizer output, whose coordinates
-// are valid by construction.
-type sweepHandler struct {
-	sink *addrSink
+// sweepSpecState is one spec's replay state within a group: its
+// hierarchy (owned by the group's multiSink), its result slot, and the
+// previous counter snapshot the per-frame deltas subtract from.
+type sweepSpecState struct {
 	hier *cache.Hierarchy
 	res  *Results
 	prev cache.Counters
 }
 
-func (h *sweepHandler) BeginFrame() {}
+// sweepGroup fans one decoded reference stream out to a worker's share
+// of the specs through a shared-translation multiSink — each distinct
+// L2 layout in the group is translated once per texel, exactly as the
+// serial engine does — reproducing the FrameResults the serial fan-out
+// produces for each spec. Unlike replayHandler (which guards
+// ReplayTrace against hostile external streams), it performs no
+// per-texel validation: sweep chunks are encoded in-process from
+// rasterizer output, whose coordinates are valid by construction.
+type sweepGroup struct {
+	sink  *multiSink
+	specs []*sweepSpecState
+}
 
-// Texel forwards one trusted reference to the address sink.
+func (g *sweepGroup) BeginFrame() {}
+
+// Texel forwards one trusted reference to the group's fan-out sink.
 //
 // texlint:hotpath
-func (h *sweepHandler) Texel(tid uint32, u, v, m int) {
-	h.sink.Texel(texture.ID(tid), u, v, m)
+func (g *sweepGroup) Texel(tid uint32, u, v, m int) {
+	g.sink.Texel(texture.ID(tid), u, v, m)
 }
 
-func (h *sweepHandler) EndFrame(pixels int64) {
-	cur := h.hier.Counters()
-	h.res.Frames = append(h.res.Frames, FrameResult{
-		Pixels:   pixels,
-		Counters: cur.Sub(h.prev),
-	})
-	h.prev = cur
-}
-
-// replaySpec drives one spec's pre-built hierarchy through every shard in
-// frame order, blocking on shards the render pass has not published yet.
-// Each worker owns its hierarchy and sink; nothing here is shared with
-// other workers except the read-only shards and the mutex-protected
-// tracer, which records one "replay:<spec>" span per worker.
-func replaySpec(rt *renderedTrace, hier *cache.Hierarchy, sink *addrSink, res *Results, tracer *telemetry.Tracer, spec string) error {
-	sp := tracer.Start("replay:" + spec)
-	defer sp.End()
-	h := &sweepHandler{sink: sink, hier: hier, res: res}
-	for f := range rt.shards {
-		<-rt.ready[f]
-		shard := rt.shards[f]
-		if shard == nil {
-			// Render aborted; the coordinator reports its error.
-			return nil
-		}
-		if _, err := trace.ReplayBytes(shard, h); err != nil {
-			return fmt.Errorf("core: sweep replay: %w", err)
-		}
+func (g *sweepGroup) EndFrame(pixels int64) {
+	for _, s := range g.specs {
+		cur := s.hier.Counters()
+		s.res.Frames = append(s.res.Frames, FrameResult{
+			Pixels:   pixels,
+			Counters: cur.Sub(s.prev),
+		})
+		s.prev = cur
 	}
-	res.Totals = hier.Counters()
+}
+
+// replayGroup drives one worker's spec group through the whole rendered
+// trace: the chunk stream is decoded once per frame and every texel
+// fans out to the group's hierarchies, so an N-spec sweep on P workers
+// costs P decodes instead of N. Each worker owns its hierarchies and
+// sinks; nothing here is shared with other workers except the released
+// chunks' refcounts and the mutex-protected tracer, which records one
+// "replay:<specs>" span per worker.
+func replayGroup(rt *renderedTrace, ci int, g *sweepGroup, tracer *telemetry.Tracer, span string) error {
+	sp := tracer.Start("replay:" + span)
+	defer sp.End()
+	if err := rt.consume(ci, g); err != nil {
+		return err
+	}
+	if rt.wasAborted() {
+		// Render aborted; the coordinator reports its error.
+		return nil
+	}
+	for _, s := range g.specs {
+		s.res.Totals = s.hier.Counters()
+	}
 	return nil
+}
+
+// specGroups partitions n specs into w contiguous, balanced index
+// ranges, one per replay worker.
+func specGroups(n, w int) [][2]int {
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		out = append(out, [2]int{i * n / w, (i + 1) * n / w})
+	}
+	return out
 }
 
 // runComparisonParallel is the render-once / replay-many engine behind
 // RunComparison for Parallelism != 1. The hierarchies are built serially
 // up front (so spec errors surface before the expensive render, and so
 // every texture.Set layout is prepared before any worker goroutine reads
-// the registry), then one goroutine per spec — at most par replaying at a
-// time — consumes the shards as the coordinator renders them, each
-// writing only its own result and error slot. Assembly in spec order
-// makes the output deterministic and byte-identical to
-// runComparisonSerial.
+// the registry), then the specs are partitioned into par groups with one
+// replay goroutine each, consuming trace chunks as the render pass
+// publishes them; every group writes only its own specs' result and
+// error slots. Assembly in spec order makes the output deterministic and
+// byte-identical to runComparisonSerial.
 func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpec, par int) (*Comparison, error) {
 	set := w.Scene.Textures
 	set.MustPrepare(texture.CanonicalL1())
 
-	// Build every spec's hierarchy and sink before spawning anything:
-	// buildHierarchy prepares tile layouts in the texture registry, which
-	// memoizes into maps that must not be written concurrently.
-	hiers := make([]*cache.Hierarchy, len(specs))
-	sinks := make([]*addrSink, len(specs))
-	cmp := &Comparison{Workload: w.Name, Render: render}
-	for i, spec := range specs {
-		cfg := specConfig(render, spec)
-		hier, sink, err := buildHierarchy(set, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: spec %q: %w", spec.Name, err)
-		}
-		hiers[i] = hier
-		sinks[i] = sink
+	// Build every group's hierarchies and shared-translation sink before
+	// spawning anything: buildMultiSink prepares tile layouts in the
+	// texture registry, which memoizes into maps that must not be
+	// written concurrently.
+	cmp := &Comparison{
+		Workload: w.Name,
+		Render:   render,
+		Specs:    make([]string, 0, len(specs)),
+		Results:  make([]*Results, 0, len(specs)),
+	}
+	for _, spec := range specs {
 		cmp.Specs = append(cmp.Specs, spec.Name)
-		cmp.Results = append(cmp.Results, &Results{Workload: w.Name, Config: cfg})
+		cmp.Results = append(cmp.Results, &Results{
+			Workload: w.Name, Config: specConfig(render, spec),
+			Frames: make([]FrameResult, 0, render.Frames),
+		})
+	}
+	groups := specGroups(len(specs), par)
+	sweeps := make([]*sweepGroup, 0, len(groups))
+	for _, gr := range groups {
+		ms, err := buildMultiSink(set, specs[gr[0]:gr[1]])
+		if err != nil {
+			return nil, err
+		}
+		g := &sweepGroup{
+			sink:  ms,
+			specs: make([]*sweepSpecState, 0, gr[1]-gr[0]),
+		}
+		for i := gr[0]; i < gr[1]; i++ {
+			g.specs = append(g.specs, &sweepSpecState{
+				hier: ms.specs[i-gr[0]].hier,
+				res:  cmp.Results[i],
+			})
+		}
+		sweeps = append(sweeps, g)
 	}
 
 	var collect *stats.Collector
@@ -266,32 +396,35 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		reuse = newReuseProbe(set)
 	}
 
-	rt := newRenderedTrace(render.Frames)
+	// Consumers of the chunk stream: one per replay group, plus the
+	// coordinator's frame-ordered stats replay when the render farm is
+	// active (the serial render pass feeds the collectors inline).
+	farmWorkers := renderWorkerCount(render.RenderWorkers, render.Frames)
+	statsCi := -1
+	nconsumers := len(groups)
+	if farmWorkers > 1 && (collect != nil || reuse != nil) {
+		statsCi = nconsumers
+		nconsumers++
+	}
+	rt := newRenderedTrace(render.Frames, nconsumers)
 
-	// One goroutine per spec, at most par replaying concurrently; each
-	// worker writes only its own errs slot and its own Results (joined by
-	// wg.Wait before the coordinator reads either).
-	errs := make([]error, len(specs))
+	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i := range specs {
+	for gi, gr := range groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(gi int, g *sweepGroup, span string) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = replaySpec(rt, hiers[i], sinks[i], cmp.Results[i],
-				render.Tracer, specs[i].Name)
-		}(i)
+			errs[gi] = replayGroup(rt, gi, g, render.Tracer, span)
+		}(gi, sweeps[gi], strings.Join(cmp.Specs[gr[0]:gr[1]], "+"))
 	}
 
 	// The render pass: RenderWorkers selects between the serial oracle
-	// and the frame-parallel farm (renderfarm.go); both publish shards
-	// through the same ready-channel contract and produce byte-identical
-	// shards, so the replay pool above is oblivious to the choice.
+	// and the frame-parallel farm (renderfarm.go); both publish chunks
+	// through the same chunkSeq contract and produce byte-identical
+	// streams, so the replay pool above is oblivious to the choice.
 	var renderErr error
-	if rw := renderWorkerCount(render.RenderWorkers, render.Frames); rw > 1 {
-		renderErr = rt.renderFarm(w, render, collect, reuse, rw)
+	if farmWorkers > 1 {
+		renderErr = rt.renderFarm(w, render, collect, reuse, farmWorkers, statsCi)
 	} else {
 		renderErr = rt.render(w, render, collect, reuse)
 	}
@@ -299,9 +432,10 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 	if renderErr != nil {
 		return nil, renderErr
 	}
-	for i, err := range errs {
+	for gi, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: spec %q: %w", specs[i].Name, err)
+			return nil, fmt.Errorf("core: specs %q: %w",
+				strings.Join(cmp.Specs[groups[gi][0]:groups[gi][1]], "+"), err)
 		}
 	}
 

@@ -61,8 +61,9 @@ func (c *Context) AblationRepl() error {
 		"workload", "policy", "host MB/frame", "L2 full", "evictions",
 		"max search", "cycles@16")
 	for _, name := range []string{"village", "city"} {
-		var specs []core.CacheSpec
-		for _, pol := range []cache.PolicyKind{cache.Clock, cache.TrueLRU, cache.Random} {
+		pols := []cache.PolicyKind{cache.Clock, cache.TrueLRU, cache.Random}
+		specs := make([]core.CacheSpec, 0, len(pols))
+		for _, pol := range pols {
 			specs = append(specs, core.CacheSpec{
 				Name:    pol.String(),
 				L1Bytes: 2 << 10,
@@ -160,7 +161,6 @@ func (c *Context) AblationAssoc() error {
 		bytes int
 		ways  int
 	}
-	var specs []core.CacheSpec
 	var cfgs []cfg
 	for _, kb := range []int{2, 16} {
 		for _, ways := range []int{1, 2, 4} {
@@ -169,6 +169,7 @@ func (c *Context) AblationAssoc() error {
 		// Fully associative: ways = line count.
 		cfgs = append(cfgs, cfg{fmt.Sprintf("%dKB full", kb), kb << 10, kb << 10 / 64})
 	}
+	specs := make([]core.CacheSpec, 0, len(cfgs))
 	for _, cf := range cfgs {
 		specs = append(specs, core.CacheSpec{
 			Name: cf.label, L1Bytes: cf.bytes, L1Ways: cf.ways,

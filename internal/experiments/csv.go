@@ -75,8 +75,9 @@ func itoa(v int64) string { return strconv.FormatInt(v, 10) }
 
 func (c *Context) exportFig3(dir string) error {
 	header := []string{"width", "height", "depth", "utilization", "w_bytes"}
-	var rows [][]string
-	for _, p := range model.Fig3() {
+	pts := model.Fig3()
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
 		rows = append(rows, []string{
 			strconv.Itoa(p.Width), strconv.Itoa(p.Height),
 			ftoa(p.Depth), ftoa(p.Utilization), ftoa(p.W),
@@ -96,7 +97,9 @@ func (c *Context) exportStatsFigs(dir, name string) error {
 	t4 := texture.TileLayout{L2Size: 4, L1Size: 4}
 	t8 := texture.TileLayout{L2Size: 8, L1Size: 8}
 
-	var fig4, fig5, fig6 [][]string
+	fig4 := make([][]string, 0, len(res.Frames))
+	fig5 := make([][]string, 0, len(res.Frames))
+	fig6 := make([][]string, 0, len(res.Frames))
 	for i, fr := range res.Frames {
 		s := fr.Stats
 		s32, _ := s.LayoutStats(l32)
@@ -140,8 +143,8 @@ func (c *Context) exportFig9(dir string) error {
 	for _, name := range l1Sweep {
 		header = append(header, "miss_rate_"+name[len("pull-"):])
 	}
-	var rows [][]string
 	frames := len(cmp.Results[0].Frames)
+	rows := make([][]string, 0, frames)
 	for f := 0; f < frames; f++ {
 		row := []string{strconv.Itoa(f)}
 		for _, name := range l1Sweep {
@@ -162,8 +165,8 @@ func (c *Context) exportFig10(dir, name string) error {
 	for _, cfg := range bandwidthConfigs {
 		header = append(header, "host_bytes_"+cfg.spec)
 	}
-	var rows [][]string
 	frames := len(cmp.Results[0].Frames)
+	rows := make([][]string, 0, frames)
 	for f := 0; f < frames; f++ {
 		row := []string{strconv.Itoa(f)}
 		for _, cfg := range bandwidthConfigs {
@@ -186,7 +189,7 @@ func (c *Context) exportFig11(dir, name string) error {
 	}{
 		{"tlb-1", 1}, {"tlb-2", 2}, {"tlb-4", 4}, {"tlb-8", 8}, {"l2-2m", 16},
 	}
-	var rows [][]string
+	rows := make([][]string, 0, len(specs))
 	for _, ts := range specs {
 		res := specResult(cmp, ts.spec)
 		rows = append(rows, []string{

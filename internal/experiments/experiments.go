@@ -286,8 +286,9 @@ func ByID(id string) (Experiment, bool) {
 
 // IDs returns all experiment ids, sorted.
 func IDs() []string {
-	var ids []string
-	for _, e := range All() {
+	all := All()
+	ids := make([]string, 0, len(all))
+	for _, e := range all {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)

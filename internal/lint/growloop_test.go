@@ -1,0 +1,154 @@
+package lint
+
+import "testing"
+
+// TestGrowloopCountedAppends covers the flagged shapes: counted for
+// loops, range loops over slices, integer ranges, and unset fields of a
+// local composite literal.
+func TestGrowloopCountedAppends(t *testing.T) {
+	testAnalyzer(t, Growloop, "growfix", `package growfix
+
+func counted(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) //want appends to xs once per iteration of a loop bounded by n
+	}
+	return xs
+}
+
+func ranged(src []string) []string {
+	out := []string{}
+	for _, s := range src {
+		out = append(out, s) //want bounded by len(src)
+	}
+	return out
+}
+
+func intRange(n int) []int {
+	xs := make([]int, 0)
+	for range n {
+		xs = append(xs, 0) //want bounded by n
+	}
+	return xs
+}
+
+type report struct {
+	rows [][]string
+	name string
+}
+
+func field(n int) *report {
+	r := &report{name: "r"}
+	for i := 0; i < n; i++ {
+		r.rows = append(r.rows, nil) //want appends to r.rows
+	}
+	return r
+}
+`)
+}
+
+// TestGrowloopQuietShapes covers every screen: explicit capacity, the
+// scratch reset, cross-loop accumulators, multiple appends, conditional
+// appends, underivable bounds, and fields the literal preallocates.
+func TestGrowloopQuietShapes(t *testing.T) {
+	testAnalyzer(t, Growloop, "quietfix", `package quietfix
+
+func preallocated(n int) []int {
+	xs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+func scratch(n int, sink func([]int)) {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = xs[:0]
+		xs = append(xs, i)
+		sink(xs)
+	}
+}
+
+// The slice accumulates across outer iterations; the inner bound is not
+// its final length.
+func accumulates(batches [][]int) []int {
+	var all []int
+	for _, b := range batches {
+		for range b {
+			all = append(all, 0)
+		}
+	}
+	return all
+}
+
+// Two appends per iteration: the bound is not the final length.
+func twoAppends(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+		xs = append(xs, -i)
+	}
+	return xs
+}
+
+func conditional(src []int) []int {
+	var evens []int
+	for _, v := range src {
+		if v%2 == 0 {
+			evens = append(evens, v)
+		}
+	}
+	return evens
+}
+
+// Channel ranges have no derivable trip count.
+func drain(ch chan int) []int {
+	var xs []int
+	for v := range ch {
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+// The bound is reassigned in the body.
+func movingBound(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			n = n / 2
+		}
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+// A target initialized from a call may arrive preallocated.
+func fromCall(n int, seed func() []int) []int {
+	xs := seed()
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+type report struct{ rows [][]string }
+
+func fieldPrealloc(n int) *report {
+	r := &report{rows: make([][]string, 0, n)}
+	for i := 0; i < n; i++ {
+		r.rows = append(r.rows, nil)
+	}
+	return r
+}
+
+func fieldAssigned(n int) *report {
+	r := &report{}
+	r.rows = make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		r.rows = append(r.rows, nil)
+	}
+	return r
+}
+`)
+}

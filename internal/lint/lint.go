@@ -9,13 +9,16 @@
 // counters, allocation-free hot paths, and the repo's panic and error
 // conventions.
 //
-// Thirteen analyzers run in three tiers: the syntactic tier
+// Sixteen analyzers run in four tiers: the syntactic tier
 // (determinism, counterwidth, hotpath, panicstyle, errcheck), the
-// CFG/dataflow tier (sharedstate, hotalloc, globalmut, purity) and the
+// CFG/dataflow tier (sharedstate, hotalloc, globalmut, purity), the
 // interprocedural concurrency-protocol tier (chanleak, chanprotocol,
 // wgbalance, mapiter), which runs over per-function summaries of channel
 // and WaitGroup effects and map-order taint computed by a module-wide
-// fixpoint (FlowFacts).
+// fixpoint (FlowFacts), and the allocation-lifetime tier (poolcheck,
+// retain, growloop), which runs over texmem summaries (MemFacts) of
+// allocation sites with size classes, escape-to-sink classification,
+// reuse-pattern recognition and a per-call allocation-closure fixpoint.
 //
 // Diagnostics may be suppressed with a comment on the offending line or
 // the line directly above it:
@@ -87,6 +90,10 @@ type Facts struct {
 	// Flow holds the texflow interprocedural summaries (channel and
 	// WaitGroup parameter ops, map-order taint, publication contracts).
 	Flow *FlowFacts
+	// Mem holds the texmem allocation-lifetime summaries (alloc sites
+	// with size classes, per-call allocation closure, reuse patterns,
+	// buffer-growth fields, goroutine spawn graph).
+	Mem *MemFacts
 }
 
 // HotMarker is the texvet alias of the hotpath marker; both name a
@@ -104,6 +111,7 @@ func CollectFacts(pkgs []*Package) *Facts {
 		Pure:       make(map[*types.Func]bool),
 		ModulePkgs: make(map[string]bool),
 		Flow:       collectFlowFacts(pkgs),
+		Mem:        collectMemFacts(pkgs),
 	}
 	for _, pkg := range pkgs {
 		f.ModulePkgs[pkg.Path] = true
@@ -154,8 +162,9 @@ type Analyzer struct {
 }
 
 // All returns every analyzer in the suite, in stable order: the five
-// first-generation syntactic analyzers followed by the four texvet
-// dataflow analyzers.
+// first-generation syntactic analyzers, the four texvet dataflow
+// analyzers, the four texflow concurrency-protocol analyzers, and the
+// three texmem allocation-lifetime analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -171,6 +180,9 @@ func All() []*Analyzer {
 		Chanprotocol,
 		Wgbalance,
 		Mapiter,
+		Poolcheck,
+		Retain,
+		Growloop,
 	}
 }
 
@@ -180,7 +192,7 @@ func ByName(names []string) ([]*Analyzer, error) {
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
-	var out []*Analyzer
+	out := make([]*Analyzer, 0, len(names))
 	for _, n := range names {
 		a, ok := byName[n]
 		if !ok {

@@ -155,7 +155,7 @@ func LoadModule(root string) ([]*Package, error) {
 	}
 
 	imp := &moduleImporter{module: make(map[string]*types.Package)}
-	var pkgs []*Package
+	pkgs := make([]*Package, 0, len(order))
 	for _, path := range order {
 		pp := parsed[path]
 		info := newInfo()
@@ -191,7 +191,7 @@ func parseDir(root, modPath, dir string) (*parsedPkg, error) {
 	if rel != "." {
 		importPath = modPath + "/" + filepath.ToSlash(rel)
 	}
-	pp := &parsedPkg{path: importPath, dir: dir}
+	pp := &parsedPkg{path: importPath, dir: dir, files: make([]*ast.File, 0, len(entries))}
 	seen := make(map[string]bool)
 	for _, e := range entries {
 		name := e.Name()
@@ -320,7 +320,7 @@ func CheckSource(path string, files map[string]string) (*Package, error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var parsedFiles []*ast.File
+	parsedFiles := make([]*ast.File, 0, len(names))
 	for _, n := range names {
 		f, err := parser.ParseFile(sharedFset, n, files[n],
 			parser.ParseComments|parser.SkipObjectResolution)

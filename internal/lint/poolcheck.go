@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolcheck is the texmem per-iteration allocation analyzer. It hunts
+// the pattern that produced the parallel sweep engine's 90x memory
+// blowup: a worker loop that, every iteration, allocates (or grows) a
+// large buffer and publishes it to a long-lived sink, so no iteration's
+// memory is ever reused. Three rules, all confined to worker context —
+// functions that spawn goroutines, everything they call, goroutine
+// bodies themselves, and the call closure of texsim:hot roots:
+//
+//  1. A direct allocation site inside a loop whose size class is large
+//     (constant >= 4 KiB, bounded by a parameter length, or unknown)
+//     and whose memory escapes to a long-lived sink, with no recognized
+//     reuse pattern (sync.Pool, cap guard, [:0] reslice, preallocated
+//     capacity, texsim:pool allocator).
+//  2. A loop-local variable of a buffer type — a struct one of whose
+//     fields is grown by append in its methods (texmem GrowFields) —
+//     whose grown field is stored out of the loop per iteration: the
+//     render loop's `var buf shardBuffer; ...; shards[f] = buf.data`.
+//  3. Inside functions launched by `go` (and goroutine literals): a
+//     per-iteration call to a module function summarized as allocating
+//     unpooled large memory on every call (texmem PerCall fixpoint),
+//     whose result is stored through a long-lived sink.
+//
+// The fix is always the same family: thread a pooled or per-worker
+// reusable buffer through the loop instead of allocating per iteration.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "flag per-iteration large allocations escaping worker loops that pooling could eliminate",
+	Run:  runPoolcheck,
+}
+
+func runPoolcheck(pass *Pass) {
+	mem := pass.Facts.Mem
+	if mem == nil {
+		return
+	}
+	for fn, decl := range mem.WorkerContexts(pass) {
+		pc := &poolChecker{pass: pass, mem: mem, fn: fn}
+		pc.sites = mem.Allocs[fn]
+		pc.checkBody(decl.Body, mem.Spawned[fn])
+	}
+}
+
+// poolChecker carries per-function state across the loop walks.
+type poolChecker struct {
+	pass  *Pass
+	mem   *MemFacts
+	fn    *types.Func
+	sites []*AllocSite
+}
+
+// checkBody finds the outermost loops of a body (descending into
+// goroutine literals with the spawned flag set) and applies the rules
+// to each.
+func (pc *poolChecker) checkBody(body ast.Node, spawned bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			pc.checkLoop(n.Body, spawned)
+			return false
+		case *ast.RangeStmt:
+			pc.checkLoop(n.Body, spawned)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				pc.checkBody(lit.Body, true)
+			}
+			return false
+		case *ast.FuncLit:
+			return false // non-goroutine closures are their own context
+		}
+		return true
+	})
+}
+
+// checkLoop applies the three per-iteration rules to one loop body.
+// inGo marks bodies that execute on a worker goroutine.
+func (pc *poolChecker) checkLoop(body *ast.BlockStmt, inGo bool) {
+	info := pc.pass.Pkg.Info
+
+	// Loop-local variables of buffer types (structs with append-grown
+	// fields), for rule 2.
+	growLocal := make(map[types.Object]*types.Named)
+	record := func(id *ast.Ident) {
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		t := obj.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && len(pc.mem.GrowFields[named]) > 0 {
+			growLocal[obj] = named
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				pc.checkBody(lit.Body, true)
+			}
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							record(name)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id)
+					}
+				}
+			}
+			pc.checkStores(n, growLocal, inGo)
+		case *ast.CallExpr:
+			// Rule 1: a direct large escaping allocation per iteration.
+			site := pc.siteAt(n)
+			if site == nil || site.Reused || !site.Large() || site.Escape != EscapeSink {
+				return true
+			}
+			pc.pass.Reportf(n.Pos(),
+				"%s allocates %s per loop iteration and publishes it to a long-lived sink; reuse a pooled or per-worker buffer (sync.Pool, cap-guarded scratch, or [:0] reslice)",
+				pc.fn.Name(), allocNoun(site))
+		}
+		return true
+	})
+}
+
+// checkStores applies rules 2 and 3 to one assignment in a loop body.
+func (pc *poolChecker) checkStores(n *ast.AssignStmt, growLocal map[types.Object]*types.Named, inGo bool) {
+	info := pc.pass.Pkg.Info
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		switch ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		rhs := ast.Unparen(n.Rhs[i])
+
+		// Rule 2: grown field of a loop-local buffer published per
+		// iteration: shards[f] = buf.data.
+		if sel, ok := rhs.(*ast.SelectorExpr); ok {
+			if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				obj := info.ObjectOf(base)
+				if named, isGrow := growLocal[obj]; isGrow && pc.mem.GrowFields[named][sel.Sel.Name] {
+					pc.pass.Reportf(n.Pos(),
+						"%s publishes per-iteration buffer %s.%s, grown by append in %s methods, to a long-lived sink every iteration; pool the buffer or reuse its storage",
+						pc.fn.Name(), base.Name, sel.Sel.Name, named.Obj().Name())
+				}
+			}
+		}
+
+		// Rule 3: per-iteration call to a PerCall module function with
+		// the result stored through a sink, on a worker goroutine.
+		if !inGo {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		callee, _ := calleeObj(info, call).(*types.Func)
+		if callee == nil || !pc.mem.PerCall[callee] || pc.mem.Pooled[callee] {
+			continue
+		}
+		if cp := callee.Pkg(); cp == nil || !pc.pass.Facts.ModulePkgs[cp.Path()] {
+			continue
+		}
+		pc.pass.Reportf(call.Pos(),
+			"%s stores the result of %s, which allocates unpooled memory on every call, into a long-lived sink each worker-loop iteration; reuse a pooled buffer instead",
+			pc.fn.Name(), callee.Name())
+	}
+}
+
+// siteAt finds the texmem summary site for an allocating call by
+// position.
+func (pc *poolChecker) siteAt(call *ast.CallExpr) *AllocSite {
+	for _, s := range pc.sites {
+		if s.Pos == call.Pos() {
+			return s
+		}
+	}
+	return nil
+}
+
+// allocNoun renders a site's kind and size class for diagnostics.
+func allocNoun(s *AllocSite) string {
+	var what string
+	switch s.Kind {
+	case AllocMake:
+		what = "a make'd buffer"
+	case AllocNew:
+		what = "a new object"
+	default:
+		what = "append growth"
+	}
+	switch s.Class {
+	case SizeConst:
+		return what + " of constant size"
+	case SizeParamLen:
+		return what + " sized by a parameter's length"
+	default:
+		return what + " of statically unknown size"
+	}
+}

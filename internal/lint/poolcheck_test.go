@@ -1,0 +1,173 @@
+package lint
+
+import "testing"
+
+// TestPoolcheckPerIterationAlloc covers rule 1: a large allocation per
+// worker-loop iteration whose memory is published to a long-lived sink,
+// against the full set of reuse idioms that must stay quiet.
+func TestPoolcheckPerIterationAlloc(t *testing.T) {
+	testAnalyzer(t, Poolcheck, "poolfix", `package poolfix
+
+func nop() {}
+
+func fanout(n int, out [][]byte) {
+	go nop()
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 1<<16) //want allocates a make'd buffer of constant size per loop iteration
+		out[i] = buf
+	}
+}
+
+// Preallocated capacity is the reuse pattern itself.
+func preallocated(n int, out [][]byte) {
+	go nop()
+	buf := make([]byte, 0, 1<<16)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		buf = append(buf, byte(i))
+		out[i] = nil
+	}
+}
+
+// A scratch buffer resliced to zero each iteration amortizes to one
+// allocation.
+func scratch(n int, sink func([]byte)) {
+	go nop()
+	var b []byte
+	for i := 0; i < n; i++ {
+		b = b[:0]
+		b = append(b, byte(i))
+		sink(b)
+	}
+}
+
+// Small constant allocations are not worth pooling.
+func small(n int, out [][]byte) {
+	go nop()
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 64)
+		out[i] = buf
+	}
+}
+
+// An allocation that dies within the iteration needs no pool.
+func dies(n int) int {
+	go nop()
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 1<<16)
+		total += len(buf)
+	}
+	return total
+}
+
+// Outside worker context (no goroutines, not hot), per-iteration
+// allocation is not poolcheck's business.
+func coldPath(n int, out [][]byte) {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 1<<16)
+		out[i] = buf
+	}
+}
+`)
+}
+
+// TestPoolcheckGrownFieldPublish covers rule 2 with a miniature of the
+// pre-fix parallel sweep engine: a per-frame shardBuffer local whose
+// append-grown backing store is published into the task's shard table
+// every iteration — the exact shape behind the 90x memory blowup.
+func TestPoolcheckGrownFieldPublish(t *testing.T) {
+	testAnalyzer(t, Poolcheck, "sweepfix", `package sweepfix
+
+// shardBuffer accumulates one frame's encoded trace shard.
+type shardBuffer struct {
+	data []byte
+}
+
+func (s *shardBuffer) Write(p []byte) (int, error) {
+	s.data = append(s.data, p...)
+	return len(p), nil
+}
+
+type renderTask struct {
+	shards [][]byte
+	frames int
+}
+
+func (rt *renderTask) consume() {}
+
+func (rt *renderTask) render(chunk []byte) {
+	for f := 0; f < rt.frames; f++ {
+		var buf shardBuffer
+		if _, err := buf.Write(chunk); err != nil {
+			return
+		}
+		rt.shards[f] = buf.data //want publishes per-iteration buffer buf.data, grown by append in shardBuffer methods
+	}
+	go rt.consume()
+}
+
+// Reusing one buffer across frames and copying into storage the task
+// already owns is the fix: no per-iteration growth is published.
+func (rt *renderTask) renderPooled(chunk []byte) {
+	var buf shardBuffer
+	for f := 0; f < rt.frames; f++ {
+		buf.data = buf.data[:0]
+		if _, err := buf.Write(chunk); err != nil {
+			return
+		}
+		copy(rt.shards[f], buf.data)
+	}
+	go rt.consume()
+}
+`)
+}
+
+// TestPoolcheckPerCallStore covers rule 3: a spawned worker storing the
+// result of a function summarized as allocating unpooled memory on
+// every call, while the same store in a non-goroutine setup loop stays
+// quiet (building one hierarchy per spec before spawning is setup, not
+// a leak).
+func TestPoolcheckPerCallStore(t *testing.T) {
+	testAnalyzer(t, Poolcheck, "callfix", `package callfix
+
+func decode(n int) []byte {
+	b := make([]byte, 1<<16)
+	for i := 0; i < n; i++ {
+		b = append(b, byte(i))
+	}
+	return b
+}
+
+// pooledDecode recycles its buffers internally.
+//
+// texsim:pool
+func pooledDecode(n int) []byte { return decode(n) }
+
+func worker(jobs []int, out [][]byte) {
+	for i := range jobs {
+		out[i] = decode(jobs[i]) //want stores the result of decode, which allocates unpooled memory on every call
+	}
+}
+
+func pooledWorker(jobs []int, out [][]byte) {
+	for i := range jobs {
+		out[i] = pooledDecode(jobs[i])
+	}
+}
+
+func run(jobs []int, out [][]byte) {
+	go worker(jobs, out)
+	go pooledWorker(jobs, out)
+}
+
+// Setup loops on the spawning side run once per spec, not per frame on
+// a worker goroutine.
+func setup(specs []int, out [][]byte, jobs []int) {
+	for i := range specs {
+		out[i] = decode(specs[i])
+	}
+	go worker(jobs, out)
+}
+`)
+}

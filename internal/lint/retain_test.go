@@ -1,0 +1,40 @@
+package lint
+
+import "testing"
+
+// TestRetainPinnedStores covers sub-slices stored into each sink kind,
+// and the copying idioms that must stay quiet.
+func TestRetainPinnedStores(t *testing.T) {
+	testAnalyzer(t, Retain, "retainfix", `package retainfix
+
+type holder struct {
+	window []byte
+	list   [][]byte
+}
+
+var global []byte
+
+func pins(h *holder, buf []byte, out [][]byte, ch chan []byte) {
+	h.window = buf[4:8] //want storing a sub-slice of buf into a struct field pins the whole backing array
+	out[0] = buf[:16]   //want an indexed slot
+	ch <- buf[8:]       //want a channel
+	global = buf[2:4]   //want a package-level variable
+	h.list = append(h.list, buf[0:4]) //want an element of a struct field
+}
+
+func quiet(h *holder, buf []byte, dst []byte) []byte {
+	// The scratch reset re-slices in place.
+	buf = buf[:0]
+	// A local view dies with the call.
+	view := buf[1:3]
+	_ = view
+	// Spreading copies the elements, no header is retained.
+	dst = append(dst, buf[4:8]...)
+	// copy moves bytes into storage the caller owns.
+	copy(dst, buf[4:8])
+	// Returning a sub-slice is the callee's contract with its caller,
+	// not a silent pin into shared state.
+	return buf[2:6]
+}
+`)
+}

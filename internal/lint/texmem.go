@@ -1,0 +1,902 @@
+package lint
+
+// This file is the texmem interprocedural layer: allocation-lifetime
+// summaries shared by the pooling analyzers (poolcheck, retain,
+// growloop). Where texflow summarizes what a function does to channels
+// and WaitGroups, texmem summarizes what a function does to the heap:
+// which sites allocate (make, new, append growth, escaping composite
+// literals), how big the allocation is when a size is derivable from
+// constants or from len() of a parameter, whether the allocated memory
+// escapes to a long-lived sink (a Results slot, a struct field, a
+// channel) or dies within the call, and which allocations are already
+// covered by a recognized reuse pattern — sync.Pool Get/Put, a
+// cap-guarded scratch buffer, a `b = b[:0]` reslice, a preallocated
+// make(..., 0, n), or a function annotated texsim:pool.
+//
+// Like texflow, the summaries are may-facts closed over the module's
+// static call graph by fixpoint iteration: a function that calls a
+// helper which allocates unpooled non-small memory on every call is
+// itself marked as allocating per call, so an analyzer looking at a loop
+// sees through the helper.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolMarker annotates a function as a pooling allocator: its
+// allocations are amortized by an internal free list, so calls to it are
+// a recognized reuse pattern, not a per-call allocation. It is the
+// custom-pool analogue of the natively recognized (*sync.Pool).Get.
+const PoolMarker = "texsim:pool"
+
+// largeAllocBytes is the size-class boundary: a constant-sized
+// allocation at or above it is "large" (worth pooling), below it small
+// (ignored by poolcheck). One page.
+const largeAllocBytes = 4096
+
+// AllocKind classifies an allocation site.
+type AllocKind uint8
+
+const (
+	// AllocMake is a make() of a slice, map or channel.
+	AllocMake AllocKind = iota
+	// AllocNew is new(T) or an escaping &T{...} / []T{...} literal.
+	AllocNew
+	// AllocAppend is append growth: x = append(x, ...).
+	AllocAppend
+)
+
+// SizeClass is how much is known about an allocation's size.
+type SizeClass uint8
+
+const (
+	// SizeUnknown means no bound is derivable.
+	SizeUnknown SizeClass = iota
+	// SizeConst means Bytes holds a constant-derived byte size.
+	SizeConst
+	// SizeParamLen means the allocation is bounded by len() of the
+	// parameter at index Param.
+	SizeParamLen
+)
+
+// EscapeKind classifies an allocation's lifetime, ordered by severity
+// so joining two observations is a max().
+type EscapeKind uint8
+
+const (
+	// EscapeNone means the allocation dies within the call.
+	EscapeNone EscapeKind = iota
+	// EscapeReturn means the allocation is handed to the caller as a
+	// return value — the constructor idiom.
+	EscapeReturn
+	// EscapeSink means the allocation is published to a long-lived
+	// sink: a field, an indexed slot, a channel, a global, or an
+	// element append into any of those.
+	EscapeSink
+)
+
+// AllocSite is one allocation in a function body.
+type AllocSite struct {
+	Kind  AllocKind
+	Class SizeClass
+	// Bytes is the constant-derived size for SizeConst, 0 otherwise.
+	Bytes int64
+	// Param is the parameter index bounding a SizeParamLen site.
+	Param int
+	// Pos locates the allocating expression.
+	Pos token.Pos
+	// Escape classifies where the allocated memory may end up: dead
+	// within the call, handed to the caller through a return value, or
+	// published to a long-lived sink (a struct field, an indexed slot, a
+	// channel, a global, or an element append into any of those). The
+	// distinction matters to poolcheck: a constructor that returns a
+	// fresh slice is the callee doing its job, while a loop that stores
+	// a fresh buffer into shared state every iteration is the pattern
+	// pooling exists to kill.
+	Escape EscapeKind
+	// InLoop reports the site sits inside a for/range statement of its
+	// function, i.e. allocates per iteration.
+	InLoop bool
+	// Reused reports a recognized reuse pattern covers the site: it is
+	// cap-guarded, its target is resliced to zero length, it carries an
+	// explicit capacity, or it sits in a sync.Pool New factory.
+	Reused bool
+}
+
+// Large reports whether the site's size class makes it worth pooling:
+// unknown (unbounded growth), bounded by a parameter's length, or a
+// constant of at least largeAllocBytes.
+func (s *AllocSite) Large() bool {
+	switch s.Class {
+	case SizeConst:
+		return s.Bytes >= largeAllocBytes
+	default:
+		return true
+	}
+}
+
+// MemFacts is the texmem summary set, computed once per Run over every
+// loaded package (see CollectFacts).
+type MemFacts struct {
+	// Allocs lists each function's allocation sites.
+	Allocs map[*types.Func][]*AllocSite
+	// PerCall marks functions that may allocate unpooled large memory on
+	// every call, directly or through module callees (the fixpoint bit).
+	PerCall map[*types.Func]bool
+	// Pooled marks functions that are a pooling allocator: annotated
+	// texsim:pool, or fetching from a sync.Pool.
+	Pooled map[*types.Func]bool
+	// GrowFields maps a named struct type to the receiver fields its
+	// methods grow by append — the write-buffer idiom whose per-iteration
+	// instances poolcheck hunts.
+	GrowFields map[*types.Named]map[string]bool
+	// Spawners marks functions containing go statements: the pool-spawn
+	// sites whose call closure poolcheck treats as worker context.
+	Spawners map[*types.Func]bool
+	// Spawned marks named functions launched by a go statement — the
+	// worker bodies themselves, where poolcheck applies its strictest
+	// per-iteration rule.
+	Spawned map[*types.Func]bool
+}
+
+// memDecl pairs a declared function with its package, like flowDecl.
+type memDecl struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// collectMemFacts computes the texmem summaries, iterating to fixpoint
+// so PerCall flows through call chains in any declaration order.
+func collectMemFacts(pkgs []*Package) *MemFacts {
+	mf := &MemFacts{
+		Allocs:     make(map[*types.Func][]*AllocSite),
+		PerCall:    make(map[*types.Func]bool),
+		Pooled:     make(map[*types.Func]bool),
+		GrowFields: make(map[*types.Named]map[string]bool),
+		Spawners:   make(map[*types.Func]bool),
+		Spawned:    make(map[*types.Func]bool),
+	}
+	var decls []memDecl
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls = append(decls, memDecl{fn: obj, decl: fn, pkg: pkg})
+				if hasMarker(fn, PoolMarker) {
+					mf.Pooled[obj] = true
+				}
+			}
+		}
+	}
+	// The intraprocedural facts (sites, growth fields, spawners) are
+	// call-order independent; compute them once.
+	for _, d := range decls {
+		mf.scanIntra(d)
+	}
+	// PerCall closes over the call graph; summaries only grow, so a full
+	// pass without change terminates the iteration.
+	for iter := 0; iter < 32; iter++ {
+		changed := false
+		for _, d := range decls {
+			if mf.propagate(d) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return mf
+}
+
+// hasMarker reports whether the declaration's doc comment carries the
+// given texsim marker.
+func hasMarker(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverNamed resolves the method declaration's receiver to its named
+// struct type, or nil for plain functions.
+func receiverNamed(info *types.Info, decl *ast.FuncDecl) *types.Named {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(decl.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// scanIntra computes one function's call-order-independent facts:
+// allocation sites (with class, loop depth, escape and reuse), receiver
+// growth fields, and spawner status.
+func (mf *MemFacts) scanIntra(d memDecl) {
+	info := d.pkg.Info
+	params := paramVars(info, d.decl)
+	recv := receiverNamed(info, d.decl)
+
+	// First pass: reuse-pattern targets. resliced holds objects assigned
+	// x = x[:0] (or a receiver field name so resliced); prealloc holds
+	// objects whose make carries an explicit capacity; preallocField holds
+	// struct fields initialized with an explicit capacity, either in a
+	// composite literal (Specs: make([]string, 0, n)) or by a direct
+	// field store (s.rows = make([][]string, 0, n)).
+	resliced := make(map[types.Object]bool)
+	reslicedFields := make(map[string]bool)
+	prealloc := make(map[types.Object]bool)
+	preallocField := make(map[types.Object]bool)
+	capGuarded := make(map[ast.Node]bool) // if-statements guarding by cap()/len()
+	makeWithCap := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		return ok && isBuiltin(info, call, "make") && len(call.Args) >= 3
+	}
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if makeWithCap(n.Rhs[i]) {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						if field := info.ObjectOf(sel.Sel); field != nil {
+							preallocField[field] = true
+						}
+					}
+					continue
+				}
+				sl, ok := ast.Unparen(n.Rhs[i]).(*ast.SliceExpr)
+				if !ok || !sameRef(info, lhs, sl.X) {
+					continue
+				}
+				if !isZeroLen(info, sl) {
+					continue
+				}
+				switch x := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if obj := info.ObjectOf(x); obj != nil {
+						resliced[obj] = true
+					}
+				case *ast.SelectorExpr:
+					reslicedFields[x.Sel.Name] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && makeWithCap(n.Value) {
+				if field := info.ObjectOf(key); field != nil {
+					preallocField[field] = true
+				}
+			}
+		case *ast.IfStmt:
+			if condMentionsCapOrLen(info, n.Cond) {
+				capGuarded[n] = true
+			}
+		}
+		return true
+	})
+
+	// Second pass: sink escapes at the variable level. escaped holds
+	// locals whose ref value may reach a long-lived sink.
+	escaped := collectEscapes(info, d.decl.Body)
+
+	// Third pass: the sites themselves, with an enclosing-node stack for
+	// loop depth and cap-guard containment.
+	var stack []ast.Node
+	usesSyncPoolGet := false
+	var sites []*AllocSite
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		inLoop := false
+		guarded := false
+		inPoolNew := false
+		for _, a := range stack[:len(stack)-1] {
+			switch a := a.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			case *ast.IfStmt:
+				if capGuarded[a] {
+					guarded = true
+				}
+			case *ast.FuncLit:
+				// A closure body is its own execution context; its sites
+				// are summarized for the enclosing declaration (the
+				// closure runs on behalf of it), but a sync.Pool New
+				// factory is the reuse pattern itself.
+				if isPoolNewFactory(info, stack, a) {
+					inPoolNew = true
+				}
+			}
+		}
+
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			mf.Spawners[d.fn] = true
+			if callee, ok := calleeObj(info, n.Call).(*types.Func); ok {
+				mf.Spawned[callee] = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if isSyncPoolMethod(info, sel, "Get") {
+					usesSyncPoolGet = true
+				}
+			}
+			site := classifyAlloc(info, params, n)
+			if site == nil {
+				return true
+			}
+			site.InLoop = inLoop
+			site.Reused = guarded || inPoolNew
+			if !site.Reused {
+				site.Reused = allocTargetReused(info, stack, n, resliced, reslicedFields, prealloc, preallocField)
+			}
+			site.Escape = allocEscapes(info, stack, n, escaped)
+			if site.Kind == AllocMake && len(n.Args) >= 3 {
+				// make with an explicit capacity is itself the reuse
+				// pattern: the author sized the buffer up front. Remember
+				// the target so appends into it are recognized too.
+				site.Reused = true
+				if obj := allocTargetObj(info, stack, n); obj != nil {
+					prealloc[obj] = true
+				}
+			}
+			sites = append(sites, site)
+			// Receiver-field append growth: s.buf = append(s.buf, ...).
+			if site.Kind == AllocAppend && recv != nil {
+				if fname := appendReceiverField(info, stack, n, d.decl); fname != "" {
+					m := mf.GrowFields[recv]
+					if m == nil {
+						m = make(map[string]bool)
+						mf.GrowFields[recv] = m
+					}
+					m[fname] = true
+				}
+			}
+		}
+		return true
+	})
+	if usesSyncPoolGet {
+		mf.Pooled[d.fn] = true
+	}
+	mf.Allocs[d.fn] = sites
+}
+
+// propagate recomputes the PerCall bit for one function: set when the
+// function has its own unpooled large non-guarded allocation, or calls a
+// module function already marked PerCall and not Pooled.
+func (mf *MemFacts) propagate(d memDecl) bool {
+	if mf.PerCall[d.fn] {
+		return false
+	}
+	if mf.Pooled[d.fn] {
+		return false
+	}
+	for _, s := range mf.Allocs[d.fn] {
+		if s.Large() && !s.Reused {
+			mf.PerCall[d.fn] = true
+			return true
+		}
+	}
+	info := d.pkg.Info
+	found := false
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, _ := calleeObj(info, call).(*types.Func)
+		if callee == nil || callee == d.fn {
+			return true
+		}
+		if mf.PerCall[callee] && !mf.Pooled[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		mf.PerCall[d.fn] = true
+	}
+	return found
+}
+
+// stdSizes provides best-effort type sizes for the size classes; the
+// exact word width is irrelevant to a 4 KiB threshold.
+var stdSizes = types.SizesFor("gc", "amd64")
+
+// typeBytes returns t's size in bytes, or 1 when unsized (so counts
+// still classify).
+func typeBytes(t types.Type) int64 {
+	if t == nil || stdSizes == nil {
+		return 1
+	}
+	defer func() { _ = recover() }() // Sizeof panics on type parameters
+	if sz := stdSizes.Sizeof(t); sz > 0 {
+		return sz
+	}
+	return 1
+}
+
+// classifyAlloc recognizes an allocating call expression and derives its
+// size class. It returns nil for non-allocating calls.
+func classifyAlloc(info *types.Info, params map[*types.Var]int, call *ast.CallExpr) *AllocSite {
+	switch {
+	case isBuiltin(info, call, "make"):
+		site := &AllocSite{Kind: AllocMake, Pos: call.Pos()}
+		if len(call.Args) < 2 {
+			// make(map) / make(chan) with no size hint: small.
+			site.Class = SizeConst
+			site.Bytes = 0
+			return site
+		}
+		sizeArg := call.Args[len(call.Args)-1] // cap when present, else len
+		elem := int64(1)
+		if sl, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
+			elem = typeBytes(sl.Elem())
+		}
+		if n, ok := intConst(info, sizeArg); ok {
+			site.Class = SizeConst
+			site.Bytes = n * elem
+			return site
+		}
+		if idx, ok := lenOfParam(info, params, sizeArg); ok {
+			site.Class = SizeParamLen
+			site.Param = idx
+			return site
+		}
+		site.Class = SizeUnknown
+		return site
+	case isBuiltin(info, call, "new"):
+		site := &AllocSite{Kind: AllocNew, Pos: call.Pos(), Class: SizeConst}
+		if len(call.Args) == 1 {
+			site.Bytes = typeBytes(info.TypeOf(call.Args[0]))
+		}
+		return site
+	case isBuiltin(info, call, "append"):
+		if len(call.Args) == 0 {
+			return nil
+		}
+		// Only growth counts: x = append(x, ...) — appends assigned
+		// elsewhere are a copy of the source, classified at their make.
+		return &AllocSite{Kind: AllocAppend, Pos: call.Pos(), Class: SizeUnknown}
+	}
+	return nil
+}
+
+// intConst extracts a non-negative integer constant from e.
+func intConst(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(v)
+	if !exact || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// lenOfParam recognizes len(p) (or p itself for an int parameter) where
+// p is a parameter, returning its index.
+func lenOfParam(info *types.Info, params map[*types.Var]int, e ast.Expr) (int, bool) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && isBuiltin(info, call, "len") && len(call.Args) == 1 {
+		e = ast.Unparen(call.Args[0])
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return 0, false
+	}
+	idx, ok := params[v]
+	return idx, ok
+}
+
+// sameRef reports whether two expressions name the same variable or the
+// same field of the same variable (x vs x, s.buf vs s.buf).
+func sameRef(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		return ok && info.ObjectOf(a) != nil && info.ObjectOf(a) == info.ObjectOf(bid)
+	case *ast.SelectorExpr:
+		bsel, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bsel.Sel.Name && sameRef(info, a.X, bsel.X)
+	}
+	return false
+}
+
+// isZeroLen reports whether the slice expression is the scratch-reset
+// idiom x[:0] (or x[0:0]).
+func isZeroLen(info *types.Info, sl *ast.SliceExpr) bool {
+	if sl.High == nil {
+		return false
+	}
+	n, ok := intConst(info, sl.High)
+	if !ok || n != 0 {
+		return false
+	}
+	if sl.Low == nil {
+		return true
+	}
+	low, ok := intConst(info, sl.Low)
+	return ok && low == 0
+}
+
+// condMentionsCapOrLen reports whether the condition compares cap() or
+// len() of something — the grow-once scratch guard
+// `if cap(s.buf) < n { s.buf = make(...) }`.
+func condMentionsCapOrLen(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(info, call, "cap") || isBuiltin(info, call, "len") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSyncPoolMethod reports whether sel is a method named name on a
+// sync.Pool value.
+func isSyncPoolMethod(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// isPoolNewFactory reports whether the function literal is assigned to a
+// sync.Pool New field (composite literal or assignment), directly
+// judging from the literal's parent in the stack.
+func isPoolNewFactory(info *types.Info, stack []ast.Node, lit *ast.FuncLit) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != lit {
+			continue
+		}
+		if i == 0 {
+			return false
+		}
+		switch p := stack[i-1].(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := p.Key.(*ast.Ident); ok && key.Name == "New" && i >= 2 {
+				if cl, ok := stack[i-2].(*ast.CompositeLit); ok {
+					t := info.TypeOf(cl)
+					if ptr, ok := t.(*types.Pointer); ok {
+						t = ptr.Elem()
+					}
+					if named, ok := t.(*types.Named); ok {
+						pkg := named.Obj().Pkg()
+						return pkg != nil && pkg.Path() == "sync" && named.Obj().Name() == "Pool"
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok {
+					if isSyncPoolMethod(info, sel, "New") {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// allocTargetObj resolves the variable an allocating call is assigned to
+// by inspecting the call's parent in the stack: v := make(...) or
+// v = append(v, ...).
+func allocTargetObj(info *types.Info, stack []ast.Node, call *ast.CallExpr) types.Object {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != call {
+			continue
+		}
+		if i == 0 {
+			return nil
+		}
+		assign, ok := stack[i-1].(*ast.AssignStmt)
+		if !ok {
+			return nil
+		}
+		for j, rhs := range assign.Rhs {
+			if ast.Unparen(rhs) != call || j >= len(assign.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(assign.Lhs[j]).(*ast.Ident); ok {
+				return info.ObjectOf(id)
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// allocTargetReused reports a reuse pattern on the allocation's target:
+// the variable is resliced to zero length in this function, or carries
+// an explicit preallocated capacity; for field appends, the field is
+// resliced or was initialized with an explicit capacity.
+func allocTargetReused(info *types.Info, stack []ast.Node, call *ast.CallExpr,
+	resliced map[types.Object]bool, reslicedFields map[string]bool,
+	prealloc, preallocField map[types.Object]bool) bool {
+	if obj := allocTargetObj(info, stack, call); obj != nil {
+		if resliced[obj] || prealloc[obj] {
+			return true
+		}
+	}
+	// append into a resliced or preallocated field:
+	// s.buf = append(s.buf, ...).
+	if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if reslicedFields[sel.Sel.Name] {
+				return true
+			}
+			if field := info.ObjectOf(sel.Sel); field != nil && preallocField[field] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// appendReceiverField returns the receiver field name grown by
+// s.f = append(s.f, ...) in a method with receiver s, or "".
+func appendReceiverField(info *types.Info, stack []ast.Node, call *ast.CallExpr, decl *ast.FuncDecl) string {
+	if !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	if info.ObjectOf(id) != info.ObjectOf(decl.Recv.List[0].Names[0]) {
+		return ""
+	}
+	// Growth only: the append must be stored back into the same field.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != call {
+			continue
+		}
+		if i == 0 {
+			return ""
+		}
+		if assign, ok := stack[i-1].(*ast.AssignStmt); ok {
+			for j, rhs := range assign.Rhs {
+				if ast.Unparen(rhs) == call && j < len(assign.Lhs) && sameRef(info, assign.Lhs[j], sel) {
+					return sel.Sel.Name
+				}
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// collectEscapes walks a body once and returns, per local ref variable,
+// the strongest way its value may leave the call: stored through a
+// selector, index or star expression, sent on a channel, or appended as
+// an element into any of those (EscapeSink); or returned to the caller
+// (EscapeReturn). Plain call arguments are treated as borrowed — a
+// documented may-miss that keeps the summaries quiet on writer/handler
+// plumbing.
+func collectEscapes(info *types.Info, body ast.Node) map[types.Object]EscapeKind {
+	escaped := make(map[types.Object]EscapeKind)
+	markIdent := func(e ast.Expr, kind EscapeKind) {
+		e = ast.Unparen(e)
+		// A field read of a local (buf.data) escapes the local itself.
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			e = ast.Unparen(sel.X)
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); !ok || !hasRefComponent(v.Type()) {
+			return
+		}
+		if kind > escaped[obj] {
+			escaped[obj] = kind
+		}
+	}
+	sinkLHS := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+				// Package-level variable.
+				return v.Parent() == v.Pkg().Scope()
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				// Element append into a sink or another variable:
+				// dst = append(dst, v) stores v's reference.
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+					if call.Ellipsis == token.NoPos { // append(dst, v...) copies
+						for _, a := range call.Args[1:] {
+							markIdent(a, EscapeSink)
+						}
+					}
+					continue
+				}
+				if sinkLHS(lhs) {
+					markIdent(rhs, EscapeSink)
+				}
+			}
+		case *ast.SendStmt:
+			markIdent(n.Value, EscapeSink)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				markIdent(r, EscapeReturn)
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// allocEscapes classifies how the allocation's value may leave the
+// call: either the call is itself stored through a sink LHS, returned
+// or sent directly, or its target variable is in the escaped map.
+func allocEscapes(info *types.Info, stack []ast.Node, call *ast.CallExpr, escaped map[types.Object]EscapeKind) EscapeKind {
+	if obj := allocTargetObj(info, stack, call); obj != nil {
+		return escaped[obj]
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != call {
+			continue
+		}
+		if i == 0 {
+			return EscapeNone
+		}
+		switch p := stack[i-1].(type) {
+		case *ast.AssignStmt:
+			for j, rhs := range p.Rhs {
+				if ast.Unparen(rhs) != call || j >= len(p.Lhs) {
+					continue
+				}
+				switch ast.Unparen(p.Lhs[j]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					return EscapeSink
+				}
+			}
+		case *ast.ReturnStmt:
+			return EscapeReturn
+		case *ast.SendStmt:
+			return EscapeSink
+		}
+		return EscapeNone
+	}
+	return EscapeNone
+}
+
+// WorkerContexts returns the package's worker-context functions for
+// poolcheck: functions that spawn goroutines, everything reachable from
+// them through in-package static calls, and everything reachable from a
+// hot-annotated root. These are the bodies whose loops run per frame or
+// per texel on worker goroutines.
+func (mf *MemFacts) WorkerContexts(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	info := pass.Pkg.Info
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fn
+			if mf.Spawners[obj] || pass.Facts.Hot[obj] {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	out := make(map[*types.Func]*ast.FuncDecl)
+	queue := roots
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if _, seen := out[fn]; seen {
+			continue
+		}
+		decl := decls[fn]
+		if decl == nil {
+			continue
+		}
+		out[fn] = decl
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, _ := calleeObj(info, call).(*types.Func)
+			if callee == nil {
+				return true
+			}
+			if _, declared := decls[callee]; declared {
+				if _, seen := out[callee]; !seen {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -44,10 +44,10 @@ func LoadCSV(path string) (header []string, cols [][]float64, err error) {
 // when non-nil.
 func SeriesFromColumns(header []string, cols [][]float64, yScale float64,
 	rename func(string) string) []Series {
-	var out []Series
 	if len(cols) < 2 {
-		return out
+		return nil
 	}
+	out := make([]Series, 0, len(cols)-1)
 	x := cols[0]
 	for i := 1; i < len(cols); i++ {
 		ys := make([]float64, len(cols[i]))

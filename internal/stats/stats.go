@@ -153,7 +153,11 @@ func NewCollector(set *texture.Set, layouts ...texture.TileLayout) (*Collector, 
 	if len(layouts) == 0 {
 		return nil, fmt.Errorf("stats: no layouts to track")
 	}
-	c := &Collector{set: set, texSeen: make([]int32, set.Len())}
+	c := &Collector{
+		set:      set,
+		texSeen:  make([]int32, set.Len()),
+		trackers: make([]*blockTracker, 0, len(layouts)),
+	}
 	for i := range c.texSeen {
 		c.texSeen[i] = -1
 	}
@@ -232,6 +236,7 @@ func (c *Collector) EndFrame() Frame {
 		PushBytes:       c.pushBytes,
 		HostLoadedBytes: c.set.HostBytes(),
 		LevelRefs:       c.levels,
+		PerLayout:       make([]LayoutFrame, 0, len(c.trackers)),
 	}
 	for _, t := range c.trackers {
 		f.PerLayout = append(f.PerLayout, LayoutFrame{

@@ -68,6 +68,7 @@ func Summarize(frames []Frame, screenPixels int64) Summary {
 	s.AvgPushBytes = float64(push) / n
 	s.HostLoadedBytes = frames[len(frames)-1].HostLoadedBytes
 
+	s.PerLayout = make([]LayoutSummary, 0, len(frames[0].PerLayout))
 	for li := range frames[0].PerLayout {
 		layout := frames[0].PerLayout[li].Layout
 		ls := LayoutSummary{Layout: layout}

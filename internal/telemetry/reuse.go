@@ -178,7 +178,11 @@ type ReuseHistogram struct {
 // Histogram snapshots the collector. Buckets are ascending and omit
 // empty ranges.
 func (c *ReuseCollector) Histogram() ReuseHistogram {
-	h := ReuseHistogram{Accesses: c.refs, Cold: c.cold}
+	h := ReuseHistogram{
+		Accesses: c.refs,
+		Cold:     c.cold,
+		Buckets:  make([]ReuseBucket, 0, len(c.hist)),
+	}
 	for b, n := range c.hist {
 		if n == 0 {
 			continue

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// feedChunks drives a ShardDecoder with data split at the given cut
+// points (indices into data, strictly increasing) and returns the
+// Finish result.
+func feedChunks(t *testing.T, data []byte, cuts []int, h Handler) (int, error) {
+	t.Helper()
+	var d ShardDecoder
+	prev := 0
+	for _, c := range cuts {
+		if err := d.Feed(data[prev:c], h); err != nil {
+			return d.Frames(), err
+		}
+		prev = c
+	}
+	if err := d.Feed(data[prev:], h); err != nil {
+		return d.Frames(), err
+	}
+	return d.Finish(h)
+}
+
+// everyCutPair exercises a stream at every single- and a sample of
+// two-point splits, demanding byte-for-byte event agreement with the
+// contiguous decoder.
+func TestShardDecoderEveryCut(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(7, 100, 200, 1)
+	w.Texel(7, 101, 200, 1)
+	w.Texel(9, 5000, -3, 2) // large deltas: multi-byte varints to straddle
+	w.Texel(9, 5001, -2, 2)
+	w.EndFrame(42)
+	w.BeginFrame()
+	w.Texel(1, 0, 0, 0)
+	w.EndFrame(7)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	var want eventLog
+	wantFrames, err := ReplayBytes(data, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		var got eventLog
+		frames, err := feedChunks(t, data, []int{cut}, &got)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if frames != wantFrames {
+			t.Fatalf("cut %d: frames = %d, want %d", cut, frames, wantFrames)
+		}
+		if !got.equal(&want) {
+			t.Fatalf("cut %d: event log diverged", cut)
+		}
+	}
+	// Pairs of cuts, striding to keep the count sane.
+	for a := 0; a <= len(data); a += 3 {
+		for b := a; b <= len(data); b += 5 {
+			var got eventLog
+			frames, err := feedChunks(t, data, []int{a, b}, &got)
+			if err != nil {
+				t.Fatalf("cuts %d,%d: %v", a, b, err)
+			}
+			if frames != wantFrames || !got.equal(&want) {
+				t.Fatalf("cuts %d,%d: diverged", a, b)
+			}
+		}
+	}
+}
+
+// eventLog records the replayed event sequence for comparison.
+type eventLog struct {
+	events []Event
+	pixels []int64
+	begins int
+}
+
+func (l *eventLog) BeginFrame()       { l.begins++ }
+func (l *eventLog) EndFrame(px int64) { l.pixels = append(l.pixels, px) }
+func (l *eventLog) Texel(tid uint32, u, v, m int) {
+	l.events = append(l.events, Event{TID: tid, U: u, V: v, M: m})
+}
+
+func (l *eventLog) equal(o *eventLog) bool {
+	if l.begins != o.begins || len(l.events) != len(o.events) || len(l.pixels) != len(o.pixels) {
+		return false
+	}
+	for i := range l.events {
+		if l.events[i] != o.events[i] {
+			return false
+		}
+	}
+	for i := range l.pixels {
+		if l.pixels[i] != o.pixels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hostile prefixes: chunked decoding must agree with ReplayBytes on the
+// error for truncated and corrupt streams, at every cut.
+func TestShardDecoderHostileAgreesWithContiguous(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(300, 70000, -70000, 3)
+	w.EndFrame(9)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	hostile := [][]byte{
+		{},
+		[]byte("TXT"),
+		[]byte("WRONG"),
+		append(append([]byte{}, magic...), 0xEE), // unknown opcode
+		append(append([]byte{}, magic...), opPixels, 3),      // frame end outside frame
+		append(append([]byte{}, magic...), opSample, 2, 2),   // sample outside frame
+		append(append([]byte{}, magic...), opFrame, opFrame), // nested frame
+		append(append([]byte{}, magic...), opTexture, 0x80),  // truncated uvarint
+	}
+	for i := 1; i < len(full); i++ {
+		hostile = append(hostile, full[:i]) // every truncation point
+	}
+
+	for _, data := range hostile {
+		var ref eventLog
+		wantFrames, wantErr := ReplayBytes(data, &ref)
+		for cut := 0; cut <= len(data); cut++ {
+			var got eventLog
+			frames, err := feedChunks(t, data, []int{cut}, &got)
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("data %x cut %d: err = %v, want %v", data, cut, err, wantErr)
+			}
+			if err != nil && wantErr != nil && err.Error() != wantErr.Error() {
+				t.Fatalf("data %x cut %d: err = %q, want %q", data, cut, err, wantErr)
+			}
+			if frames != wantFrames {
+				t.Fatalf("data %x cut %d: frames = %d, want %d", data, cut, frames, wantFrames)
+			}
+		}
+	}
+}
+
+// A latched error must repeat on further Feeds without re-invoking the
+// handler, and Reset must clear it.
+func TestShardDecoderLatchAndReset(t *testing.T) {
+	var d ShardDecoder
+	var l eventLog
+	bad := append(append([]byte{}, magic...), 0xEE)
+	if err := d.Feed(bad, &l); err == nil {
+		t.Fatal("want error on unknown opcode")
+	}
+	before := l.begins
+	if err := d.Feed([]byte{opFrame}, &l); err == nil {
+		t.Fatal("latched error not repeated")
+	}
+	if l.begins != before {
+		t.Fatal("handler invoked after latched error")
+	}
+	if _, err := d.Finish(&l); err == nil {
+		t.Fatal("Finish must repeat the latched error")
+	}
+
+	d.Reset()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(1, 2, 3, 0)
+	w.EndFrame(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Feed(buf.Bytes(), &l); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := d.Finish(&l)
+	if err != nil || frames != 1 {
+		t.Fatalf("after Reset: frames = %d, err = %v", frames, err)
+	}
+}
+
+// FuzzShardChunks feeds arbitrary bytes through the chunked decoder at a
+// fuzzer-chosen split and requires full agreement with ReplayBytes:
+// frame count, error text and event sequence.
+func FuzzShardChunks(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.BeginFrame()
+	w.Texel(3, 10, 10, 0)
+	w.Texel(3, 11, 10, 0)
+	w.EndFrame(4)
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), uint16(7))
+	f.Add([]byte("TXTR\x01"), uint16(2))
+	f.Fuzz(func(t *testing.T, data []byte, rawCut uint16) {
+		var ref eventLog
+		wantFrames, wantErr := ReplayBytes(data, &ref)
+
+		cut := 0
+		if len(data) > 0 {
+			cut = int(rawCut) % (len(data) + 1)
+		}
+		var got eventLog
+		var d ShardDecoder
+		frames, err := func() (int, error) {
+			if err := d.Feed(data[:cut], &got); err != nil {
+				return d.Frames(), err
+			}
+			if err := d.Feed(data[cut:], &got); err != nil {
+				return d.Frames(), err
+			}
+			return d.Finish(&got)
+		}()
+
+		// ReplayBytes short-circuits streams shorter than the header
+		// before feeding the decoder; the chunked path reports the
+		// same error only at Finish, and may call the magic mismatch
+		// first. Align on the one case where the contracts differ.
+		if len(data) < 5 {
+			if err == nil {
+				t.Fatalf("short stream decoded without error")
+			}
+			return
+		}
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("err = %v, want %v (cut %d)", err, wantErr, cut)
+		}
+		if err != nil && err.Error() != wantErr.Error() {
+			t.Fatalf("err = %q, want %q (cut %d)", err, wantErr, cut)
+		}
+		if frames != wantFrames {
+			t.Fatalf("frames = %d, want %d (cut %d)", frames, wantFrames, cut)
+		}
+		if !got.equal(&ref) {
+			t.Fatalf("event log diverged (cut %d)", cut)
+		}
+	})
+}

@@ -296,121 +296,20 @@ var (
 	errBadVarint  = errors.New("trace: bad varint")
 )
 
-// uvarintAt decodes an unsigned varint at data[i], returning the value
-// and the index past it. Package-level (not a closure) so the compiler
-// can inline it into the decode loop.
-func uvarintAt(data []byte, i int) (uint64, int, error) {
-	x, n := binary.Uvarint(data[i:])
-	if n <= 0 {
-		return 0, i, errBadUvarint
-	}
-	return x, i + n, nil
-}
-
-// varintAt decodes a zigzag varint at data[i].
-func varintAt(data []byte, i int) (int64, int, error) {
-	x, n := binary.Varint(data[i:])
-	if n <= 0 {
-		return 0, i, errBadVarint
-	}
-	return x, i + n, nil
-}
-
 // ReplayBytes decodes an in-memory stream, invoking h for each event. It
-// is the replay path of the parallel sweep engine: every worker decodes
-// the shared shards once per cache configuration, so the decoder indexes
+// is the whole-slice entry to the replay path: the decode loop indexes
 // the slice directly instead of paying an io.Reader round trip per byte,
 // and the sample loop special-cases single-byte deltas, which dominate
 // coherent rasterization walks. Semantics are identical to Replay,
-// including FailingHandler aborts.
+// including FailingHandler aborts. It is implemented as a single Feed
+// into a ShardDecoder, so chunked and contiguous decodes cannot diverge.
 func ReplayBytes(data []byte, h Handler) (frames int, err error) {
 	if len(data) < len(magic) {
 		return 0, errors.New("trace: short header")
 	}
-	for i, b := range magic {
-		if data[i] != b {
-			return 0, errors.New("trace: bad magic or version")
-		}
+	var d ShardDecoder
+	if err := d.Feed(data, h); err != nil {
+		return d.frames, err
 	}
-	var (
-		tid     uint32
-		m       int
-		u, v    int
-		inFrame bool
-	)
-	i := len(magic)
-	for i < len(data) {
-		code := data[i]
-		i++
-		switch code {
-		case opSample:
-			// First (by frequency): decode the two zigzag deltas, with a
-			// fast path for the one-byte encodings coherent walks produce.
-			var du, dv int64
-			if i+1 < len(data) && data[i] < 0x80 && data[i+1] < 0x80 {
-				bu, bv := data[i], data[i+1]
-				du = int64(bu>>1) ^ -int64(bu&1)
-				dv = int64(bv>>1) ^ -int64(bv&1)
-				i += 2
-			} else {
-				var err error
-				if du, i, err = varintAt(data, i); err != nil {
-					return frames, err
-				}
-				if dv, i, err = varintAt(data, i); err != nil {
-					return frames, err
-				}
-			}
-			if !inFrame {
-				return frames, errors.New("trace: sample outside frame")
-			}
-			u += int(du)
-			v += int(dv)
-			h.Texel(tid, u, v, m)
-		case opFrame:
-			if inFrame {
-				return frames, errors.New("trace: nested frame")
-			}
-			if err := handlerErr(h); err != nil {
-				return frames, err
-			}
-			inFrame = true
-			h.BeginFrame()
-		case opTexture:
-			x, j, err := uvarintAt(data, i)
-			if err != nil {
-				return frames, err
-			}
-			i = j
-			tid = uint32(x)
-		case opLevel:
-			x, j, err := uvarintAt(data, i)
-			if err != nil {
-				return frames, err
-			}
-			i = j
-			m = int(x)
-		case opPixels:
-			x, j, err := uvarintAt(data, i)
-			if err != nil {
-				return frames, err
-			}
-			i = j
-			if !inFrame {
-				return frames, errors.New("trace: frame end outside frame")
-			}
-			inFrame = false
-			frames++
-			h.EndFrame(int64(x))
-			if err := handlerErr(h); err != nil {
-				return frames, err
-			}
-		default:
-			return frames, fmt.Errorf("trace: unknown opcode %#x", code)
-		}
-	}
-	if inFrame {
-		return frames, errors.New("trace: truncated inside a frame")
-	}
-	return frames, handlerErr(h)
+	return d.Finish(h)
 }

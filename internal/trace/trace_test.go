@@ -418,8 +418,8 @@ func TestReplayBytesMatchesReplay(t *testing.T) {
 
 	inputs := [][]byte{
 		valid,
-		valid[:len(valid)-4],          // truncated mid-frame
-		valid[:3],                     // short header
+		valid[:len(valid)-4],                     // truncated mid-frame
+		valid[:3],                                // short header
 		append([]byte("XXTR\x01"), valid[5:]...), // bad magic
 		{},
 	}
