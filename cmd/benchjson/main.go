@@ -83,17 +83,20 @@ func run() int {
 
 	// Mirror bench_test.go's sweep benchmarks: the serial reference
 	// engine, a bounded 4-worker pool, the GOMAXPROCS default (replay pool
-	// and render farm both parallel), and the farm-isolating variant that
-	// keeps the render pass serial.
+	// and render farm both parallel), the farm-isolating variant that
+	// keeps the render pass serial, and the analytic -fast engine (one
+	// instrumented render, no replay).
 	cases := []struct {
 		name          string
 		parallelism   int
 		renderWorkers int
+		fast          bool
 	}{
-		{"SweepSerial", 1, 1},
-		{"SweepParallel4", 4, 0},
-		{"SweepParallel", 0, 0},
-		{"SweepParallelRenderSerial", 0, 1},
+		{"SweepSerial", 1, 1, false},
+		{"SweepParallel4", 4, 0, false},
+		{"SweepParallel", 0, 0, false},
+		{"SweepParallelRenderSerial", 0, 1, false},
+		{"SweepFast", 0, 0, true},
 	}
 
 	clock := telemetry.NewWallClock()
@@ -115,6 +118,7 @@ func run() int {
 		cfg := render
 		cfg.Parallelism = bc.parallelism
 		cfg.RenderWorkers = bc.renderWorkers
+		cfg.FastSweep = bc.fast
 
 		// Quiesce the heap so alloc deltas attribute to the run alone.
 		runtime.GC()

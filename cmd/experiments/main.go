@@ -41,6 +41,8 @@ func run() int {
 		"worker pool size for prefetch and cache sweeps (0 = GOMAXPROCS, -1 = serial)")
 	renderWorkers := flag.Int("renderworkers", 0,
 		"render farm size for cache sweeps (0 = GOMAXPROCS, -1 or 1 = serial render pass)")
+	fast := flag.Bool("fast", false,
+		"analytic cache sweeps: predict model-reachable specs from one reuse-profile pass; per-frame figures then report totals only")
 	csvDir := flag.String("csv", "", "also export per-frame figure series as CSV into this directory")
 	metricsPath := flag.String("metrics", "", "write every run's per-frame metric stream here (.csv = CSV, else JSONL)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (config hash, environment, totals) here")
@@ -117,6 +119,7 @@ func run() int {
 	} else {
 		ctx.RenderWorkers = *renderWorkers
 	}
+	ctx.FastSweep = *fast
 
 	var totals telemetry.Totals
 	emitters := []telemetry.Emitter{&totals}

@@ -17,6 +17,16 @@
 //
 //	texsim -workload city -sweep -parallel 4 -renderworkers 4 -specs pull-2k,l2-2m
 //
+// With -sweep -fast the replay collapses to one instrumented render: the
+// analytic reuse model (internal/model/reusemodel) predicts every
+// model-reachable spec's counters from the stream's sector-aware
+// stack-distance profile, TLB statistics come from exact in-probe
+// filters, and only specs outside the model's reach are replayed. The
+// report marks modeled rows; exact sweeps run with -reuse additionally
+// report the model's per-spec error:
+//
+//	texsim -workload city -sweep -fast
+//
 // Telemetry and profiling:
 //
 //	-metrics run.jsonl   stream per-frame counters (JSONL, or CSV via .csv)
@@ -64,6 +74,8 @@ func run() int {
 	nosector := flag.Bool("nosector", false, "disable sector mapping")
 	stats := flag.Bool("stats", false, "collect working-set statistics")
 	sweep := flag.Bool("sweep", false, "replay the rendered stream through the canonical cache sweep")
+	fast := flag.Bool("fast", false,
+		"with -sweep: predict model-reachable specs analytically from one instrumented render")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	renderWorkers := flag.Int("renderworkers", 0,
 		"render farm size for -sweep (0 = GOMAXPROCS, 1 = serial render pass)")
@@ -129,6 +141,11 @@ func run() int {
 		cfg.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
 	}
 	cfg.CollectReuse = *reusePath != ""
+
+	if *fast && !*sweep {
+		fmt.Fprintln(os.Stderr, "texsim: -fast only applies to -sweep runs")
+		return 2
+	}
 
 	var specs []core.CacheSpec
 	if *sweep {
@@ -207,10 +224,12 @@ func run() int {
 	}
 
 	var reuse *telemetry.ReuseHistogram
+	var modelErrs []telemetry.SpecModelError
 	simFrames := 0
 	if *sweep {
 		cfg.Parallelism = *parallel
 		cfg.RenderWorkers = *renderWorkers
+		cfg.FastSweep = *fast
 		cmp, err := core.RunComparison(w, cfg, specs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -218,6 +237,7 @@ func run() int {
 		}
 		reportSweep(w, cfg, specs, cmp)
 		reuse = cmp.Reuse
+		modelErrs = cmp.ModelErrors()
 		simFrames = len(cmp.FramePixels)
 	} else {
 		res, err := core.Run(w, cfg)
@@ -243,7 +263,7 @@ func run() int {
 		}
 	}
 	if *manifestPath != "" {
-		if err := writeManifest(*manifestPath, w, cfg, specs, *sweep, simFrames, totals.T); err != nil {
+		if err := writeManifest(*manifestPath, w, cfg, specs, *sweep, simFrames, totals.T, modelErrs); err != nil {
 			fmt.Fprintln(os.Stderr, "texsim: writing manifest:", err)
 			return 1
 		}
@@ -303,9 +323,11 @@ func writeReuse(path string, h *telemetry.ReuseHistogram) error {
 }
 
 // writeManifest records the run's identity: configuration fingerprint,
-// environment, spec list, stream totals and any recorded phase spans.
+// environment, spec list, stream totals, any recorded phase spans, and —
+// for sweeps with a reuse profile — the per-spec model report.
 func writeManifest(path string, w *workload.Workload, cfg core.Config,
-	specs []core.CacheSpec, sweep bool, frames int, totals telemetry.RunTotals) error {
+	specs []core.CacheSpec, sweep bool, frames int, totals telemetry.RunTotals,
+	model []telemetry.SpecModelError) error {
 	tool := "texsim"
 	parts := []string{
 		w.Name,
@@ -333,6 +355,7 @@ func writeManifest(path string, w *workload.Workload, cfg core.Config,
 	m.Frames = frames
 	m.Totals = totals
 	m.Spans = cfg.Tracer.Spans()
+	m.Model = model
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -345,12 +368,20 @@ func writeManifest(path string, w *workload.Workload, cfg core.Config,
 	return f.Close()
 }
 
-// reportSweep prints one compact row per replayed spec.
+// reportSweep prints one compact row per swept spec. When a reuse
+// profile was collected, a trailing model column distinguishes modeled
+// rows from exact replays and reports the per-spec model error where
+// both sides exist.
 func reportSweep(w *workload.Workload, cfg core.Config, specs []core.CacheSpec, cmp *core.Comparison) {
 	fmt.Printf("workload %s: %d frames at %dx%d (%v)\n",
-		w.Name, len(cmp.Results[0].Frames), cfg.Width, cfg.Height, cfg.Mode)
-	fmt.Printf("%-10s %10s %10s %10s %14s\n",
+		w.Name, len(cmp.FramePixels), cfg.Width, cfg.Height, cfg.Mode)
+	hasModel := len(cmp.Model) > 0
+	fmt.Printf("%-10s %10s %10s %10s %14s",
 		"spec", "L1 hit", "L2 full", "TLB hit", "host MB/frame")
+	if hasModel {
+		fmt.Printf("  %s", "model")
+	}
+	fmt.Println()
 	for i, spec := range specs {
 		res := cmp.Results[i]
 		t := res.Totals
@@ -362,8 +393,25 @@ func reportSweep(w *workload.Workload, cfg core.Config, specs []core.CacheSpec, 
 				tlb = fmt.Sprintf("%.2f%%", 100*t.TLB.HitRate())
 			}
 		}
-		fmt.Printf("%-10s %9.2f%% %10s %10s %14.3f\n",
+		fmt.Printf("%-10s %9.2f%% %10s %10s %14.3f",
 			spec.Name, 100*t.L1.HitRate(), l2, tlb, res.AvgHostMBPerFrame())
+		if hasModel {
+			fmt.Printf("  %s", modelNote(cmp.Model[i]))
+		}
+		fmt.Println()
+	}
+}
+
+// modelNote summarizes one spec's standing with the analytic model.
+func modelNote(m core.SpecModel) string {
+	switch {
+	case !m.Modeled:
+		return "exact (" + m.Unreachable + ")"
+	case m.HasExact:
+		return fmt.Sprintf("err L1 %.2f%% / L2 %.2f%%",
+			100*m.Err.L1AbsErr, 100*m.Err.L2AbsErr)
+	default:
+		return "modeled"
 	}
 }
 

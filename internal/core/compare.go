@@ -40,6 +40,15 @@ type Comparison struct {
 	// render.CollectReuse was set; the stream is shared across specs, so
 	// the comparison carries one histogram, not one per spec.
 	Reuse *telemetry.ReuseHistogram
+	// ReuseProfile is the full sector-aware locality profile behind
+	// Reuse (same probe, same stream), the input of the analytic model.
+	ReuseProfile *telemetry.SectorProfile
+	// Model is the analytic model's per-spec report, parallel to Specs,
+	// present whenever a reuse profile was collected: the prediction for
+	// every model-reachable spec, the refusal reason for the rest, and —
+	// when that spec also has exact (replayed) results — the absolute
+	// model error on the paper's headline rates.
+	Model []SpecModel
 }
 
 // layoutXlate caches per-texture address translation for one L2 layout.
@@ -132,10 +141,13 @@ func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Com
 	if err := render.Validate(); err != nil {
 		return nil, err
 	}
-	if par := sweepWorkers(render.Parallelism, len(specs)); par > 1 {
-		return runComparisonParallel(w, render, specs, par)
+	if render.FastSweep {
+		return runComparisonFast(w, render, specs)
 	}
-	return runComparisonSerial(w, render, specs)
+	if par := sweepWorkers(render.Parallelism, len(specs)); par > 1 {
+		return runComparisonParallel(w, render, specs, par, nil)
+	}
+	return runComparisonSerial(w, render, specs, nil)
 }
 
 // buildMultiSink builds the shared-translation fan-out sink both engines
@@ -196,8 +208,10 @@ func buildMultiSink(set *texture.Set, specs []CacheSpec) (*multiSink, error) {
 }
 
 // runComparisonSerial is the legacy single-goroutine engine, kept as the
-// reference implementation the parallel path is tested against.
-func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec) (*Comparison, error) {
+// reference implementation the parallel path is tested against. A
+// non-nil probe (the -fast engine injects one carrying TLB filters)
+// overrides the CollectReuse-built probe and taps the render stream.
+func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec, probe *reuseProbe) (*Comparison, error) {
 	set := w.Scene.Textures
 	set.MustPrepare(texture.CanonicalL1())
 
@@ -227,9 +241,10 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 		}
 		sink.collect = collect
 	}
-	if render.CollectReuse {
-		sink.reuse = newReuseProbe(set)
+	if probe == nil && render.CollectReuse {
+		probe = newReuseProbe(set)
 	}
+	sink.reuse = probe
 
 	rast, err := raster.New(raster.Config{
 		Width: render.Width, Height: render.Height,
@@ -284,5 +299,7 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec)
 		cmp.Results[0].Summary = &sum
 	}
 	cmp.Reuse = sink.reuse.histogram()
+	cmp.ReuseProfile = sink.reuse.profile()
+	attachModel(cmp, specs)
 	return cmp, nil
 }

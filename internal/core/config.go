@@ -79,7 +79,20 @@ type Config struct {
 	// CollectReuse enables the reuse-distance probe: an LRU stack
 	// distance histogram over L2 block addresses of the rendered
 	// reference stream, attached to Results.Reuse / Comparison.Reuse.
+	// Comparison runs additionally attach the sector profile and the
+	// analytic model's per-spec report (Comparison.Model).
 	CollectReuse bool
+	// FastSweep switches RunComparison to the analytic engine: the
+	// workload is rendered once through the reuse probe and every spec
+	// the reuse model can reach (see internal/model/reusemodel) gets its
+	// counters predicted from the profile instead of replayed — TLB
+	// statistics come from exact in-probe filters. Specs outside the
+	// model's reach (direct-mapped L1s, random replacement, disabled
+	// sector mapping, off-granularity tile sizes) are replayed exactly as
+	// before. Modeled Results carry Totals but no per-frame breakdown.
+	// Implies CollectReuse for the comparison; incompatible with
+	// StatLayouts.
+	FastSweep bool
 }
 
 // Validate checks the configuration.

@@ -1,0 +1,87 @@
+// Bridge between the comparison engines and the analytic reuse model:
+// converting sweep specs into model specs, attaching per-spec
+// predictions (and, where exact results exist, model error) to a
+// Comparison, and exporting the report in manifest form.
+package core
+
+import (
+	"texcache/internal/model/reusemodel"
+	"texcache/internal/telemetry"
+)
+
+// SpecModel is one spec's entry in a comparison's analytic-model report
+// (Comparison.Model, parallel to Specs).
+type SpecModel struct {
+	Spec string
+	// Modeled marks specs the reuse model reaches; Unreachable carries
+	// the typed refusal's message for the rest.
+	Modeled     bool
+	Unreachable string
+	// Pred is the model's prediction when Modeled.
+	Pred *reusemodel.Prediction
+	// HasExact marks specs that also have exact (replayed) results; Err
+	// then holds the model-vs-exact comparison on the headline rates.
+	HasExact bool
+	Err      reusemodel.SpecError
+}
+
+// modelSpec projects a sweep spec onto the reuse model's input.
+func modelSpec(s CacheSpec) reusemodel.Spec {
+	ms := reusemodel.Spec{Name: s.Name, L1Bytes: s.L1Bytes, L1Ways: s.L1Ways}
+	if s.L2 != nil {
+		ms.L2Bytes = s.L2.SizeBytes
+		ms.TileEdge = s.L2.Layout.L2Size
+		ms.Policy = s.L2.Policy
+		ms.NoSectorMapping = s.L2.NoSectorMapping
+	}
+	return ms
+}
+
+// attachModel fills cmp.Model from the comparison's reuse profile: a
+// prediction (and error versus any exact results present) for every
+// model-reachable spec, the refusal reason for the rest. A comparison
+// without a profile gets no model report.
+func attachModel(cmp *Comparison, specs []CacheSpec) {
+	if cmp.ReuseProfile == nil {
+		return
+	}
+	cmp.Model = make([]SpecModel, len(specs))
+	for i, spec := range specs {
+		sm := &cmp.Model[i]
+		sm.Spec = spec.Name
+		pred, err := reusemodel.Predict(cmp.ReuseProfile, modelSpec(spec))
+		if err != nil {
+			sm.Unreachable = err.Error()
+			continue
+		}
+		sm.Modeled = true
+		p := pred
+		sm.Pred = &p
+		if res := cmp.Results[i]; res != nil && len(res.Frames) > 0 {
+			sm.HasExact = true
+			sm.Err = reusemodel.Compare(pred, res.Totals)
+		}
+	}
+}
+
+// ModelErrors exports the model report in the manifest's form; nil when
+// the comparison carries no report.
+func (cmp *Comparison) ModelErrors() []telemetry.SpecModelError {
+	if len(cmp.Model) == 0 {
+		return nil
+	}
+	out := make([]telemetry.SpecModelError, len(cmp.Model))
+	for i, m := range cmp.Model {
+		out[i] = telemetry.SpecModelError{
+			Spec:        m.Spec,
+			Modeled:     m.Modeled,
+			Unreachable: m.Unreachable,
+			HasExact:    m.HasExact,
+		}
+		if m.HasExact {
+			out[i].L1HitAbsErr = m.Err.L1AbsErr
+			out[i].L2FullHitAbsErr = m.Err.L2AbsErr
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"texcache/internal/cache"
+	"texcache/internal/telemetry"
+	"texcache/internal/texture"
+)
+
+// naiveProbe is the reference implementation of the reuse probe: one
+// full collector access and one full filter pass per texel, with none
+// of reuseProbe's repeat/alternation batching. The optimized probe must
+// be observationally identical to it — same profile, same filter stats,
+// same TLB stats — on any reference stream.
+type naiveProbe struct {
+	tilings []*texture.Tiling
+	starts  []uint32
+	c       *telemetry.SectorReuseCollector
+	filters []*probeFilter
+}
+
+func newNaiveProbe(set *texture.Set) *naiveProbe {
+	layout := reuseLayout()
+	set.MustPrepare(layout)
+	starts := make([]uint32, set.Len())
+	for i := range starts {
+		starts[i] = set.Start(layout, texture.ID(i))
+	}
+	return &naiveProbe{
+		tilings: set.Tilings(layout),
+		starts:  starts,
+		c: telemetry.NewSectorReuseCollector(
+			int(set.PageTableEntries(layout)), layout.SubPerBlock(), layout.L2Size),
+	}
+}
+
+func (p *naiveProbe) Texel(tid texture.ID, u, v, m int) {
+	a := p.tilings[tid].Addr(u, v, m)
+	block := p.starts[tid] + a.L2
+	p.c.Access(block, a.L1)
+	ref := cache.L1Ref{
+		Tag: cache.PackTag(uint32(tid), a.L2, a.L1),
+		Set: cache.SetHash(int32(u>>2), int32(v>>2), uint8(m), uint32(tid)),
+	}
+	for _, f := range p.filters {
+		if f.l1.Access(ref) {
+			continue
+		}
+		for _, t := range f.tlbs {
+			t.tlb.Lookup(block)
+		}
+	}
+}
+
+// probeExactFilters attaches an identical filter/TLB arrangement to
+// both probes: two L1 geometries, three TLBs, mirroring how the fast
+// engine groups modeled TLB specs.
+func probeExactFilters() (opt, ref []*probeFilter) {
+	build := func() []*probeFilter {
+		f1 := &probeFilter{l1: cache.MustNewL1Assoc(2<<10, 2)}
+		f1.tlbs = []probeTLB{
+			{specIdx: 0, tlb: cache.NewTLB(8)},
+			{specIdx: 1, tlb: cache.NewTLB(16)},
+		}
+		f2 := &probeFilter{l1: cache.MustNewL1Assoc(8<<10, 4)}
+		f2.tlbs = []probeTLB{{specIdx: 2, tlb: cache.NewTLB(16)}}
+		return []*probeFilter{f1, f2}
+	}
+	return build(), build()
+}
+
+// TestProbeBatchingExact drives the batching probe and the naive
+// reference over identical streams — crafted runs that force every
+// batch path (repeats, same-block bilinear ping-pong, cross-block mip
+// ping-pong, batch interruptions) plus a seeded random walk — and
+// requires bit-identical profiles, filter stats, and TLB stats.
+func TestProbeBatchingExact(t *testing.T) {
+	set := texture.NewSet()
+	set.Register(texture.MustNew("a", 128, 128, texture.RGBA8888, nil))
+	set.Register(texture.MustNew("b", 64, 64, texture.RGBA8888, nil))
+
+	opt := newReuseProbe(set)
+	naive := newNaiveProbe(set)
+	opt.filters, naive.filters = probeExactFilters()
+
+	emit := func(tid texture.ID, u, v, m int) {
+		opt.Texel(tid, u, v, m)
+		naive.Texel(tid, u, v, m)
+	}
+
+	// Crafted patterns. Repeats: one tap over and over.
+	for i := 0; i < 50; i++ {
+		emit(0, 17, 9, 0)
+	}
+	// Same-block bilinear ping-pong: u=1 and u=5 are different 4x4
+	// lines of the same 16x16 block; odd and even run lengths.
+	for i := 0; i < 31; i++ {
+		emit(0, 1+4*(i&1), 2, 0)
+	}
+	emit(0, 40, 40, 0) // interrupt
+	for i := 0; i < 30; i++ {
+		emit(0, 1+4*(i&1), 2, 0)
+	}
+	// Cross-block mip ping-pong: same texel coordinate on two mip
+	// levels lives in two different blocks.
+	for i := 0; i < 33; i++ {
+		emit(0, 8, 8, i&1)
+	}
+	// Interrupt a cross run with repeats, then resume.
+	for i := 0; i < 24; i++ {
+		emit(0, 8, 8, i&1)
+		if i == 11 {
+			emit(0, 8, 8, 0)
+			emit(0, 8, 8, 0)
+		}
+	}
+	// Alternation immediately at stream positions where one side is
+	// freshly cold: new pair of lines never touched before.
+	for i := 0; i < 9; i++ {
+		emit(1, 1+4*(i&1), 33, 0)
+	}
+
+	// Seeded random walk with locality: small steps, mip flips, and
+	// injected runs so batch entries and exits happen at arbitrary
+	// collector states.
+	rng := rand.New(rand.NewSource(7))
+	tid, u, v, m := 0, 20, 20, 0
+	dims := [][2]int{{128, 128}, {64, 64}}
+	for i := 0; i < 60000; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			tid = rng.Intn(2)
+			m = 0
+		case 1, 2:
+			m = rng.Intn(3)
+		case 3:
+			u += rng.Intn(9) - 4
+			v += rng.Intn(9) - 4
+		default:
+			u += rng.Intn(3) - 1
+			v += rng.Intn(3) - 1
+		}
+		w, h := dims[tid][0]>>m, dims[tid][1]>>m
+		if u < 0 {
+			u = 0
+		}
+		if v < 0 {
+			v = 0
+		}
+		if u >= w {
+			u = w - 1
+		}
+		if v >= h {
+			v = h - 1
+		}
+		emit(texture.ID(tid), u, v, m)
+		if rng.Intn(4) == 0 { // repeat run
+			for k := rng.Intn(6); k > 0; k-- {
+				emit(texture.ID(tid), u, v, m)
+			}
+		}
+		if rng.Intn(5) == 0 && u+4 < w { // same-block or cross-line alternation run
+			for k := rng.Intn(8); k > 0; k-- {
+				emit(texture.ID(tid), u+4*(k&1), v, m)
+			}
+		}
+		if rng.Intn(5) == 0 && m+1 < 3 { // cross-block mip alternation run
+			for k := rng.Intn(8); k > 0; k-- {
+				emit(texture.ID(tid), u>>1, v>>1, m+(k&1))
+			}
+		}
+	}
+
+	got := opt.profile()
+	want := naive.c.Profile()
+	if !reflect.DeepEqual(*got, want) {
+		t.Errorf("batched profile diverges from naive reference:\ngot  %+v\nwant %+v", *got, want)
+	}
+	for i := range opt.filters {
+		// Batched references are provably filter hits and never reach the
+		// filter, so its access count legitimately undercounts; its miss
+		// count and set state must stay exact (any state drift would show
+		// up as diverging misses on the post-batch stream), and the TLBs
+		// behind it — the only stats the fast engine reports — must match
+		// bit for bit.
+		if g, w := opt.filters[i].l1.Stats().Misses, naive.filters[i].l1.Stats().Misses; g != w {
+			t.Errorf("filter %d L1 misses diverge: got %d want %d", i, g, w)
+		}
+		for j := range opt.filters[i].tlbs {
+			g := opt.filters[i].tlbs[j].tlb.Stats()
+			w := naive.filters[i].tlbs[j].tlb.Stats()
+			if g != w {
+				t.Errorf("filter %d TLB %d stats diverge: got %+v want %+v", i, j, g, w)
+			}
+		}
+	}
+}

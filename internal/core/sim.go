@@ -36,15 +36,24 @@ type Results struct {
 	// Reuse is the reference stream's stack-distance histogram when
 	// Config.CollectReuse was set.
 	Reuse *telemetry.ReuseHistogram
+	// ModelFrames is the frame count covered by an analytically modeled
+	// result (the -fast sweep): such Results carry whole-run Totals but
+	// no per-frame breakdown, so Frames stays empty and ModelFrames
+	// records the denominator for per-frame averages.
+	ModelFrames int
 }
 
 // AvgHostMBPerFrame returns the mean host (AGP/system memory) download
 // bandwidth in MB per frame, the quantity of Table 3.
 func (r *Results) AvgHostMBPerFrame() float64 {
-	if len(r.Frames) == 0 {
+	frames := len(r.Frames)
+	if frames == 0 {
+		frames = r.ModelFrames
+	}
+	if frames == 0 {
 		return 0
 	}
-	return float64(r.Totals.HostBytes) / float64(len(r.Frames)) / (1 << 20)
+	return float64(r.Totals.HostBytes) / float64(frames) / (1 << 20)
 }
 
 // addrSink translates texel references to cache addresses and drives the

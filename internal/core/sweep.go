@@ -342,7 +342,7 @@ func specGroups(n, w int) [][2]int {
 // publishes them; every group writes only its own specs' result and
 // error slots. Assembly in spec order makes the output deterministic and
 // byte-identical to runComparisonSerial.
-func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpec, par int) (*Comparison, error) {
+func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpec, par int, probe *reuseProbe) (*Comparison, error) {
 	set := w.Scene.Textures
 	set.MustPrepare(texture.CanonicalL1())
 
@@ -391,8 +391,8 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 			return nil, err
 		}
 	}
-	var reuse *reuseProbe
-	if render.CollectReuse {
+	reuse := probe
+	if reuse == nil && render.CollectReuse {
 		reuse = newReuseProbe(set)
 	}
 
@@ -460,6 +460,8 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		cmp.Results[0].Summary = &sum
 	}
 	cmp.Reuse = reuse.histogram()
+	cmp.ReuseProfile = reuse.profile()
+	attachModel(cmp, specs)
 	// The workers each filled their own Results slot — those are the
 	// per-worker metric buffers. Replaying them frame-major, spec-minor
 	// reproduces the serial engine's streamed order byte for byte.

@@ -59,6 +59,12 @@ type Context struct {
 	// render-once/replay-many engine (0 = GOMAXPROCS, 1 = the serial
 	// render pass). Results are identical at every setting.
 	RenderWorkers int
+	// FastSweep forwards core.Config.FastSweep to every cache sweep: the
+	// analytic reuse model predicts each model-reachable spec from one
+	// instrumented render instead of replaying it. Totals-based tables
+	// remain available (within the model's error); per-frame figures
+	// (Fig9, Fig10) need the exact sweep and say so.
+	FastSweep bool
 	// Metrics, when non-nil, receives every memoized run's per-frame
 	// records. Emission happens at memoization time — once per underlying
 	// simulation, never per experiment that reads it — so the stream is a
@@ -221,6 +227,11 @@ func (c *Context) sweep(name string, mode raster.SampleMode) (*core.Comparison, 
 		Mode:          mode,
 		Parallelism:   c.Parallelism,
 		RenderWorkers: c.RenderWorkers,
+		// Always collect the reuse profile: it is what the model
+		// experiment reports from, and in exact sweeps it attaches the
+		// per-spec model error to the comparison for free.
+		CollectReuse: true,
+		FastSweep:    c.FastSweep,
 	}
 	cmp, err := core.RunComparison(c.workloadByName(name), render, SweepSpecs())
 	if err != nil {
@@ -265,6 +276,7 @@ func All() []Experiment {
 		{"table56", "Tables 5-6: L1 and L2 hit rates", (*Context).Table56},
 		{"table7", "Table 7: fractional advantage of L2 caching", (*Context).Table7},
 		{"table8", "Table 8 / Figure 11: texture page table TLB hit rates", (*Context).Table8},
+		{"model", "Reuse model: predicted vs exact sweep rates", (*Context).ModelReport},
 		{"ablation-z", "Ablation A1: z-before-texture", (*Context).AblationZ},
 		{"ablation-repl", "Ablation A2: L2 replacement policies", (*Context).AblationRepl},
 		{"ablation-sector", "Ablation A3: sector mapping", (*Context).AblationSector},

@@ -38,8 +38,8 @@ func output(c *Context) string { return c.Out.(*bytes.Buffer).String() }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Errorf("experiments = %d, want 19", len(all))
+	if len(all) != 20 {
+		t.Errorf("experiments = %d, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

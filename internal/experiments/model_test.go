@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"texcache/internal/raster"
+)
+
+// TestModelErrorBound is the golden model-accuracy test: over all 13
+// sweep specs on both cache-study workloads, the analytic model's
+// predicted L1 hit rate and L2 full-hit rate must stay within 2%
+// absolute of the exact simulator. This is the empirical contract the
+// -fast sweep rests on; the exact sweeps here are the same memoized
+// runs the experiments print.
+func TestModelErrorBound(t *testing.T) {
+	const bound = 0.02
+	c := NewContext(Bench(), io.Discard)
+	for _, name := range []string{"village", "city"} {
+		cmp, err := c.sweep(name, raster.Trilinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmp.Model) != len(SweepSpecs()) {
+			t.Fatalf("%s: model report covers %d of %d specs", name, len(cmp.Model), len(SweepSpecs()))
+		}
+		for _, m := range cmp.Model {
+			if !m.Modeled {
+				t.Errorf("%s/%s: not model-reachable: %s", name, m.Spec, m.Unreachable)
+				continue
+			}
+			if !m.HasExact {
+				t.Errorf("%s/%s: no exact baseline attached", name, m.Spec)
+				continue
+			}
+			if m.Err.L1AbsErr > bound {
+				t.Errorf("%s/%s: L1 hit rate model error %.4f (exact %.4f, model %.4f) exceeds %.2f",
+					name, m.Spec, m.Err.L1AbsErr, m.Err.ExactL1Hit, m.Err.ModelL1Hit, bound)
+			}
+			if m.Err.L2AbsErr > bound {
+				t.Errorf("%s/%s: L2 full-hit rate model error %.4f (exact %.4f, model %.4f) exceeds %.2f",
+					name, m.Spec, m.Err.L2AbsErr, m.Err.ExactL2FullHit, m.Err.ModelL2FullHit, bound)
+			}
+		}
+	}
+}

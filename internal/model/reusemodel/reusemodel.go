@@ -1,0 +1,280 @@
+// Package reusemodel predicts the paper's capacity sweep analytically
+// from a single reuse-distance pass over the rendered reference stream.
+//
+// The inputs are the three marginal distance distributions of
+// telemetry.SectorProfile (line distance d1, block distance d2, sector
+// distance M), which satisfy d2 <= M <= d1 per reference. For a spec
+// with an N1-line L1 and an N2-block L2 (N1 <= N2), the nesting of the
+// event sets lets every counter collapse to differences of marginal hit
+// masses — no joint histogram is needed:
+//
+//	L1 misses            = A - |d1 < N1|
+//	L2 full misses       = A - |d2 < N2|            (block not resident)
+//	L2 full hits         = |M < N2| - |d1 < N1|     ({d1<N1} ⊆ {M<N2})
+//	L2 partial hits      = |d2 < N2| - |M < N2|     ({M<N2} ⊆ {d2<N2})
+//	L2 evictions         = full misses - min(distinct blocks, N2)
+//
+// where A is the total reference count and |·| counts warm references
+// satisfying the predicate (telemetry.ReuseHistogram.HitMass). The
+// model is exact for fully-associative LRU caches at capacities within
+// the histograms' fine-count range; against the simulator's 2-way L1
+// and clock-replacement L2 it is an approximation whose error the
+// validation harness (Compare) measures per spec.
+//
+// The model cannot reach every spec: TLB statistics, non-LRU-like
+// replacement (Random), disabled sector mapping, direct-mapped L1s, a
+// mismatched block granularity, or an L2 smaller than the L1 all
+// require exact replay. Check classifies a spec; Predict refuses with
+// the same typed errors.
+package reusemodel
+
+import (
+	"fmt"
+	"math"
+
+	"texcache/internal/cache"
+	"texcache/internal/telemetry"
+)
+
+// lineBytes is the L1 line / L2 sector unit: one 4x4 tile of 32-bit
+// texels, the granularity both caches move data at (cache.L1LineBytes).
+const lineBytes = cache.L1LineBytes
+
+// Spec names one cache configuration for the model: the subset of a
+// sweep spec the analytic prediction depends on. TLB statistics are
+// outside the model's reach and deliberately absent.
+type Spec struct {
+	Name    string
+	L1Bytes int
+	// L1Ways is the L1 associativity; 0 means the simulator's default
+	// 2-way. Direct-mapped (1-way) caches conflict-miss in ways the LRU
+	// stack model cannot see and are refused.
+	L1Ways int
+	// L2Bytes is the L2 capacity; 0 models the pull architecture.
+	L2Bytes int
+	// TileEdge is the L2 tile edge in texels; it must match the
+	// profile's collection granularity.
+	TileEdge int
+	// Policy is the L2 replacement policy; Clock and TrueLRU are both
+	// LRU-like and modeled, Random is refused.
+	Policy cache.PolicyKind
+	// NoSectorMapping (the A3 ablation) changes the byte accounting in
+	// ways the sector histogram does not capture; refused.
+	NoSectorMapping bool
+}
+
+// GranularityError reports a profile whose block granularity does not
+// match the spec's tile size: consulting it anyway would be a silent
+// unit error (distances counted in the wrong block unit), so the model
+// refuses instead of returning a plausible wrong number.
+type GranularityError struct {
+	// Have is the profile's collected tile edge (0 = unknown); Want is
+	// the spec's.
+	Have, Want int
+}
+
+func (e *GranularityError) Error() string {
+	return fmt.Sprintf("reusemodel: profile collected at %d-texel blocks, spec needs %d-texel blocks",
+		e.Have, e.Want)
+}
+
+// UnreachableError reports a spec outside the model's reach; Reason
+// says which assumption fails and implies exact replay is required.
+type UnreachableError struct {
+	Spec   string
+	Reason string
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("reusemodel: spec %q needs exact replay: %s", e.Spec, e.Reason)
+}
+
+// lineCount returns the spec's L1 capacity in lines.
+func (s Spec) lineCount() int64 { return int64(s.L1Bytes / lineBytes) }
+
+// blockCount returns the spec's L2 capacity in blocks (0 for pull).
+func (s Spec) blockCount() int64 {
+	if s.L2Bytes == 0 {
+		return 0
+	}
+	// 32-bit texels, matching texture.TileLayout.L2BlockBytes.
+	return int64(s.L2Bytes) / (int64(s.TileEdge) * int64(s.TileEdge) * 4)
+}
+
+// Check reports whether the model can predict the spec from a profile
+// collected at the given block granularity (tile edge in texels). A nil
+// return means Predict will succeed on any profile with that
+// granularity.
+func Check(s Spec, blockEdge int) error {
+	if s.L1Bytes <= 0 {
+		return &UnreachableError{s.Name, fmt.Sprintf("invalid L1 size %d", s.L1Bytes)}
+	}
+	if s.L1Ways == 1 {
+		return &UnreachableError{s.Name, "direct-mapped L1 conflict misses are outside the LRU stack model"}
+	}
+	if s.L2Bytes == 0 {
+		return nil
+	}
+	if s.TileEdge != blockEdge {
+		return &GranularityError{Have: blockEdge, Want: s.TileEdge}
+	}
+	if s.NoSectorMapping {
+		return &UnreachableError{s.Name, "whole-block downloads (no sector mapping) change the byte accounting"}
+	}
+	if s.Policy == cache.Random {
+		return &UnreachableError{s.Name, "random replacement is not LRU-like"}
+	}
+	if s.blockCount() < s.lineCount() {
+		return &UnreachableError{s.Name,
+			fmt.Sprintf("L2 (%d blocks) smaller than L1 (%d lines) breaks the model's nesting", s.blockCount(), s.lineCount())}
+	}
+	return nil
+}
+
+// Prediction is the model's estimate of a spec's end-of-run counters.
+// Values are fractional in general (within-bucket interpolation); at
+// capacities inside the histograms' fine range they are exact integers.
+type Prediction struct {
+	Spec     Spec
+	Accesses int64
+
+	L1Misses    float64
+	FullHits    float64
+	PartialHits float64
+	FullMisses  float64
+	Evictions   float64
+
+	HostBytes    float64
+	L2ReadBytes  float64
+	L2WriteBytes float64
+}
+
+// L1HitRate returns the predicted L1 hit rate.
+func (p Prediction) L1HitRate() float64 {
+	if p.Accesses == 0 {
+		return 0
+	}
+	return 1 - p.L1Misses/float64(p.Accesses)
+}
+
+// L2FullHitRate returns the predicted full-hit rate conditioned on an
+// L1 miss, the paper's reporting convention (cache.L2Stats.FullHitRate).
+func (p Prediction) L2FullHitRate() float64 {
+	if p.L1Misses == 0 {
+		return 0
+	}
+	return p.FullHits / p.L1Misses
+}
+
+// HostMBPerFrame returns the predicted host download traffic in MB per
+// frame over the given frame count.
+func (p Prediction) HostMBPerFrame(frames int) float64 {
+	if frames <= 0 {
+		return 0
+	}
+	return p.HostBytes / float64(frames) / (1 << 20)
+}
+
+// Counters rounds the prediction into the simulator's counter type, so
+// modeled sweep results flow through the same reporting as replayed
+// ones. Victim-search statistics (SearchSteps, MaxSearch) are not
+// modeled and stay zero.
+func (p Prediction) Counters() cache.Counters {
+	r := func(v float64) int64 { return int64(math.Round(v)) }
+	c := cache.Counters{
+		L1: cache.L1Stats{
+			Accesses: p.Accesses,
+			Misses:   r(p.L1Misses),
+		},
+		HostBytes:    r(p.HostBytes),
+		L2ReadBytes:  r(p.L2ReadBytes),
+		L2WriteBytes: r(p.L2WriteBytes),
+	}
+	if p.Spec.L2Bytes > 0 {
+		c.L2 = cache.L2Stats{
+			FullHits:    r(p.FullHits),
+			PartialHits: r(p.PartialHits),
+			FullMisses:  r(p.FullMisses),
+			Evictions:   r(p.Evictions),
+		}
+	}
+	return c
+}
+
+// Predict derives a spec's counters from the profile. It refuses, with
+// the same typed errors as Check, specs outside the model's reach —
+// including a profile whose block granularity does not match.
+func Predict(p *telemetry.SectorProfile, s Spec) (Prediction, error) {
+	if p == nil {
+		return Prediction{}, &UnreachableError{s.Name, "no reuse profile collected"}
+	}
+	if err := Check(s, p.BlockEdge); err != nil {
+		return Prediction{}, err
+	}
+	a := float64(p.Lines.Accesses)
+	n1 := s.lineCount()
+	lineHits := p.Lines.HitMass(n1)
+
+	pred := Prediction{Spec: s, Accesses: p.Lines.Accesses}
+	pred.L1Misses = a - lineHits
+	if s.L2Bytes == 0 {
+		// Pull architecture: every L1 miss downloads one line from host
+		// memory.
+		pred.HostBytes = pred.L1Misses * lineBytes
+		return pred, nil
+	}
+
+	n2 := s.blockCount()
+	blockHits := p.Blocks.HitMass(n2)
+	sectorHits := p.Sector.HitMass(n2)
+
+	pred.FullMisses = a - blockHits
+	pred.FullHits = clamp0(sectorHits - lineHits)
+	pred.PartialHits = clamp0(blockHits - sectorHits)
+	distinct := float64(p.Blocks.Cold)
+	capacity := float64(n2)
+	if distinct < capacity {
+		capacity = distinct
+	}
+	pred.Evictions = clamp0(pred.FullMisses - capacity)
+
+	// Sector-mapped byte accounting (Figure 7): full hits fill the line
+	// from L2; partial hits and full misses download the line from host
+	// memory into L2 and L1 in parallel.
+	pred.L2ReadBytes = pred.FullHits * lineBytes
+	pred.HostBytes = (pred.PartialHits + pred.FullMisses) * lineBytes
+	pred.L2WriteBytes = pred.HostBytes
+	return pred, nil
+}
+
+func clamp0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// SpecError is one spec's model-vs-exact comparison: the rates both
+// sides report and their absolute differences. It is the unit of the
+// validation harness and of the model-error tables in the comparison
+// output and manifest.
+type SpecError struct {
+	Name string
+
+	ExactL1Hit, ModelL1Hit, L1AbsErr         float64
+	ExactL2FullHit, ModelL2FullHit, L2AbsErr float64
+}
+
+// Compare measures the prediction against exact end-of-run counters.
+func Compare(pred Prediction, exact cache.Counters) SpecError {
+	e := SpecError{
+		Name:           pred.Spec.Name,
+		ExactL1Hit:     exact.L1.HitRate(),
+		ModelL1Hit:     pred.L1HitRate(),
+		ExactL2FullHit: exact.L2.FullHitRate(),
+		ModelL2FullHit: pred.L2FullHitRate(),
+	}
+	e.L1AbsErr = math.Abs(e.ExactL1Hit - e.ModelL1Hit)
+	e.L2AbsErr = math.Abs(e.ExactL2FullHit - e.ModelL2FullHit)
+	return e
+}

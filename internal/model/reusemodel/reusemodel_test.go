@@ -1,0 +1,248 @@
+package reusemodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"texcache/internal/cache"
+	"texcache/internal/telemetry"
+)
+
+// naiveLRU is a fully-associative LRU set over uint32 keys.
+type naiveLRU struct {
+	cap   int
+	stack []uint32
+}
+
+// touch moves key to the front, inserting if absent; it returns whether
+// the key was present and, on insert from a full set, the evicted key.
+func (l *naiveLRU) touch(key uint32) (hit bool, evicted uint32, didEvict bool) {
+	for i, k := range l.stack {
+		if k == key {
+			copy(l.stack[1:i+1], l.stack[:i])
+			l.stack[0] = key
+			return true, 0, false
+		}
+	}
+	if len(l.stack) == l.cap {
+		last := len(l.stack) - 1
+		evicted, didEvict = l.stack[last], true
+		l.stack = l.stack[:last]
+	}
+	l.stack = append([]uint32{key}, l.stack...)
+	return false, evicted, didEvict
+}
+
+// refCounters replays a reference stream through the model's reference
+// machine — a fully-associative LRU L1 of n1 lines in front of a
+// fully-associative sectored LRU L2 of n2 blocks whose recency and
+// sector bits are refreshed on every reference — and returns the exact
+// counters the model is defined to predict.
+func refCounters(stream [][2]uint32, subPerBlock, n1, n2 int) cache.Counters {
+	l1 := &naiveLRU{cap: n1}
+	l2 := &naiveLRU{cap: n2}
+	valid := make(map[uint32]map[uint32]bool)
+	var c cache.Counters
+	for _, ref := range stream {
+		block, sub := ref[0], ref[1]
+		line := block*uint32(subPerBlock) + sub
+		c.L1.Accesses++
+		l1Hit, _, _ := l1.touch(line)
+
+		resident, ev, didEvict := l2.touch(block)
+		if !resident {
+			if didEvict {
+				c.L2.Evictions++
+				delete(valid, ev)
+			}
+			valid[block] = make(map[uint32]bool)
+		}
+		bitSet := valid[block][sub]
+		valid[block][sub] = true
+
+		if l1Hit {
+			continue
+		}
+		c.L1.Misses++
+		switch {
+		case resident && bitSet:
+			c.L2.FullHits++
+			c.L2ReadBytes += lineBytes
+		case resident:
+			c.L2.PartialHits++
+			c.HostBytes += lineBytes
+			c.L2WriteBytes += lineBytes
+		default:
+			c.L2.FullMisses++
+			c.HostBytes += lineBytes
+			c.L2WriteBytes += lineBytes
+		}
+	}
+	return c
+}
+
+func modelStream(rng *rand.Rand, numBlocks, subPerBlock, refs int) [][2]uint32 {
+	var stream [][2]uint32
+	for len(stream) < refs {
+		block := uint32(rng.Intn(numBlocks))
+		run := 1 + rng.Intn(8)
+		for i := 0; i < run && len(stream) < refs; i++ {
+			stream = append(stream, [2]uint32{block, uint32(rng.Intn(subPerBlock))})
+		}
+	}
+	return stream
+}
+
+// TestPredictExactAgainstReference is the model's ground-truth test: on
+// capacities inside the histograms' fine range, every predicted counter
+// must equal the reference machine exactly — including the eviction
+// formula and the byte accounting.
+func TestPredictExactAgainstReference(t *testing.T) {
+	const (
+		numBlocks   = 64
+		subPerBlock = 16 // 16x16 tile over 4x4 lines
+		tileEdge    = 16
+		refs        = 8000
+	)
+	rng := rand.New(rand.NewSource(5))
+	stream := modelStream(rng, numBlocks, subPerBlock, refs)
+	coll := telemetry.NewSectorReuseCollector(numBlocks, subPerBlock, tileEdge)
+	for _, ref := range stream {
+		coll.Access(ref[0], uint16(ref[1]))
+	}
+	profile := coll.Profile()
+
+	cases := []struct{ n1, n2 int }{
+		{4, 4}, {4, 16}, {8, 24}, {16, 48}, {32, 64}, {32, 100}, {7, 13},
+	}
+	for _, tc := range cases {
+		spec := Spec{
+			Name:    "ref",
+			L1Bytes: tc.n1 * lineBytes,
+			L2Bytes: tc.n2 * tileEdge * tileEdge * 4,
+			// Full associativity in the reference machine: ways == lines.
+			L1Ways:   tc.n1,
+			TileEdge: tileEdge,
+			Policy:   cache.TrueLRU,
+		}
+		pred, err := Predict(&profile, spec)
+		if err != nil {
+			t.Fatalf("n1=%d n2=%d: Predict: %v", tc.n1, tc.n2, err)
+		}
+		want := refCounters(stream, subPerBlock, tc.n1, tc.n2)
+		got := pred.Counters()
+		got.L2.SearchSteps, got.L2.MaxSearch = 0, 0
+		if got != want {
+			t.Errorf("n1=%d n2=%d:\n got  %+v\n want %+v", tc.n1, tc.n2, got, want)
+		}
+	}
+}
+
+// TestPredictPull checks the L2-less pull architecture: misses of the
+// fully-associative L1, each pulling one line from host memory.
+func TestPredictPull(t *testing.T) {
+	const numBlocks, subPerBlock = 32, 16
+	rng := rand.New(rand.NewSource(8))
+	stream := modelStream(rng, numBlocks, subPerBlock, 4000)
+	coll := telemetry.NewSectorReuseCollector(numBlocks, subPerBlock, 16)
+	for _, ref := range stream {
+		coll.Access(ref[0], uint16(ref[1]))
+	}
+	profile := coll.Profile()
+	for _, n1 := range []int{2, 8, 31, 64} {
+		pred, err := Predict(&profile, Spec{Name: "pull", L1Bytes: n1 * lineBytes, L1Ways: n1})
+		if err != nil {
+			t.Fatalf("n1=%d: %v", n1, err)
+		}
+		want := refCounters(stream, subPerBlock, n1, numBlocks+1)
+		if got := int64(pred.L1Misses); got != want.L1.Misses {
+			t.Errorf("n1=%d: L1 misses = %d, want %d", n1, got, want.L1.Misses)
+		}
+		if got := int64(pred.HostBytes); got != want.L1.Misses*lineBytes {
+			t.Errorf("n1=%d: host bytes = %d, want %d", n1, got, want.L1.Misses*lineBytes)
+		}
+		if pred.FullHits != 0 || pred.L2ReadBytes != 0 {
+			t.Errorf("n1=%d: pull spec predicted L2 traffic", n1)
+		}
+	}
+}
+
+func testProfile(t *testing.T) *telemetry.SectorProfile {
+	t.Helper()
+	coll := telemetry.NewSectorReuseCollector(16, 16, 16)
+	for i := 0; i < 100; i++ {
+		coll.Access(uint32(i%16), uint16(i%16))
+	}
+	p := coll.Profile()
+	return &p
+}
+
+func TestCheckRefusals(t *testing.T) {
+	p := testProfile(t)
+	base := Spec{Name: "s", L1Bytes: 2048, L2Bytes: 1 << 20, TileEdge: 16}
+
+	mismatch := base
+	mismatch.TileEdge = 32
+	var gerr *GranularityError
+	if _, err := Predict(p, mismatch); !errors.As(err, &gerr) {
+		t.Fatalf("tile mismatch: got %v, want *GranularityError", err)
+	} else if gerr.Have != 16 || gerr.Want != 32 {
+		t.Fatalf("GranularityError = %+v, want have 16 want 32", gerr)
+	}
+
+	var uerr *UnreachableError
+	random := base
+	random.Policy = cache.Random
+	if _, err := Predict(p, random); !errors.As(err, &uerr) {
+		t.Fatalf("random policy: got %v, want *UnreachableError", err)
+	}
+	direct := base
+	direct.L1Ways = 1
+	if _, err := Predict(p, direct); !errors.As(err, &uerr) {
+		t.Fatalf("direct-mapped: got %v, want *UnreachableError", err)
+	}
+	nosector := base
+	nosector.NoSectorMapping = true
+	if _, err := Predict(p, nosector); !errors.As(err, &uerr) {
+		t.Fatalf("no sector mapping: got %v, want *UnreachableError", err)
+	}
+	tiny := base
+	tiny.L1Bytes = 1 << 20
+	tiny.L2Bytes = 2048 * 16 * 16 * 4 / 2048 * 1024 // 16 blocks < 16384 lines
+	if _, err := Predict(p, tiny); !errors.As(err, &uerr) {
+		t.Fatalf("L2 < L1: got %v, want *UnreachableError", err)
+	}
+	if _, err := Predict(nil, base); !errors.As(err, &uerr) {
+		t.Fatalf("nil profile: got %v, want *UnreachableError", err)
+	}
+	if err := Check(base, p.BlockEdge); err != nil {
+		t.Fatalf("reachable spec refused: %v", err)
+	}
+	// Error strings must be descriptive, not just type names.
+	if msg := gerr.Error(); msg == "" {
+		t.Fatal("GranularityError.Error empty")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	pred := Prediction{
+		Spec:     Spec{Name: "x", L2Bytes: 1},
+		Accesses: 1000,
+		L1Misses: 100,
+		FullHits: 80,
+	}
+	exact := cache.Counters{
+		L1: cache.L1Stats{Accesses: 1000, Misses: 110},
+		L2: cache.L2Stats{FullHits: 77, PartialHits: 20, FullMisses: 13},
+	}
+	e := Compare(pred, exact)
+	if math.Abs(e.L1AbsErr-0.01) > 1e-12 {
+		t.Errorf("L1AbsErr = %v, want 0.01", e.L1AbsErr)
+	}
+	wantL2 := math.Abs(80.0/100 - 77.0/110)
+	if math.Abs(e.L2AbsErr-wantL2) > 1e-12 {
+		t.Errorf("L2AbsErr = %v, want %v", e.L2AbsErr, wantL2)
+	}
+}

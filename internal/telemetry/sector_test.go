@@ -1,0 +1,284 @@
+package telemetry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naiveSectored is the reference sectored cache: a fully-associative
+// LRU of n2 blocks whose recency is refreshed on every reference, with
+// one valid bit per line inside each resident block (cleared when the
+// block is loaded). access reports whether the referenced line's bit
+// was already set — exactly the "sector survives" event the collector's
+// running maximum M is built to predict (M < n2).
+type naiveSectored struct {
+	n2    int
+	stack []uint32
+	valid map[uint32]map[uint16]bool
+}
+
+func newNaiveSectored(n2 int) *naiveSectored {
+	return &naiveSectored{n2: n2, valid: make(map[uint32]map[uint16]bool)}
+}
+
+func (s *naiveSectored) access(block uint32, sub uint16) bool {
+	idx := -1
+	for i, b := range s.stack {
+		if b == block {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		copy(s.stack[1:idx+1], s.stack[:idx])
+		s.stack[0] = block
+	} else {
+		if len(s.stack) == s.n2 {
+			last := len(s.stack) - 1
+			delete(s.valid, s.stack[last])
+			s.stack = s.stack[:last]
+		}
+		s.stack = append([]uint32{block}, s.stack...)
+		s.valid[block] = make(map[uint16]bool)
+	}
+	v := s.valid[block]
+	set := v[sub]
+	v[sub] = true
+	return set
+}
+
+// sectorStream generates a texel-like reference stream: runs within a
+// block (spatial coherence) interleaved with jumps across blocks.
+func sectorStream(rng *rand.Rand, numBlocks, subPerBlock, refs int) [][2]uint32 {
+	var stream [][2]uint32
+	for len(stream) < refs {
+		block := uint32(rng.Intn(numBlocks))
+		run := 1 + rng.Intn(6)
+		for i := 0; i < run && len(stream) < refs; i++ {
+			stream = append(stream, [2]uint32{block, uint32(rng.Intn(subPerBlock))})
+		}
+	}
+	return stream
+}
+
+// TestSectorAgainstNaive cross-checks the collector's sector histogram
+// against the reference sectored cache at every capacity: the number of
+// references whose sector bit survives in an N2-block cache must equal
+// Sector.HitMass(N2) exactly (the block space is far below the fine
+// threshold, so no interpolation is involved).
+func TestSectorAgainstNaive(t *testing.T) {
+	const (
+		numBlocks   = 48
+		subPerBlock = 4
+		refs        = 5000
+	)
+	rng := rand.New(rand.NewSource(3))
+	stream := sectorStream(rng, numBlocks, subPerBlock, refs)
+
+	c := NewSectorReuseCollector(numBlocks, subPerBlock, 16)
+	caps := []int{1, 2, 3, 5, 8, 13, 21, 34, 47, 48, 100}
+	naive := make([]*naiveSectored, len(caps))
+	survived := make([]int64, len(caps))
+	for i, n2 := range caps {
+		naive[i] = newNaiveSectored(n2)
+	}
+	for _, ref := range stream {
+		c.Access(ref[0], uint16(ref[1]))
+		for i := range caps {
+			if naive[i].access(ref[0], uint16(ref[1])) {
+				survived[i]++
+			}
+		}
+	}
+	p := c.Profile()
+	for i, n2 := range caps {
+		if got := p.Sector.HitMass(int64(n2)); got != float64(survived[i]) {
+			t.Errorf("Sector.HitMass(%d) = %v, want exactly %d", n2, got, survived[i])
+		}
+	}
+	if p.BlockEdge != 16 || p.Blocks.BlockEdge != 16 || p.Sector.BlockEdge != 16 {
+		t.Errorf("profile block edge not stamped: %d/%d/%d",
+			p.BlockEdge, p.Blocks.BlockEdge, p.Sector.BlockEdge)
+	}
+	if p.Lines.Accesses != refs || p.Blocks.Accesses != refs || p.Sector.Accesses != refs {
+		t.Errorf("access counts diverge: %d/%d/%d, want %d",
+			p.Lines.Accesses, p.Blocks.Accesses, p.Sector.Accesses, refs)
+	}
+	// Cold accounting: sector cold = cold lines (first touch of a line),
+	// and the nesting d2 <= M <= d1 shows up as ordered hit masses.
+	if p.Sector.Cold != p.Lines.Cold {
+		t.Errorf("sector cold = %d, want lines cold %d", p.Sector.Cold, p.Lines.Cold)
+	}
+	for n := int64(1); n <= numBlocks; n++ {
+		lines := p.Lines.HitMass(n) // line space is larger, but d1 >= M still
+		sector := p.Sector.HitMass(n)
+		blocks := p.Blocks.HitMass(n)
+		if sector > blocks {
+			t.Fatalf("HitMass ordering violated at %d: sector %v > blocks %v", n, sector, blocks)
+		}
+		if lines > sector {
+			t.Fatalf("HitMass ordering violated at %d: lines %v > sector %v", n, lines, sector)
+		}
+	}
+}
+
+// TestSectorCompaction drives a tiny block space long enough to force
+// many collector compactions and re-checks the naive equivalence across
+// them.
+func TestSectorCompaction(t *testing.T) {
+	const (
+		numBlocks   = 4
+		subPerBlock = 2
+		refs        = 20000
+	)
+	rng := rand.New(rand.NewSource(99))
+	stream := sectorStream(rng, numBlocks, subPerBlock, refs)
+	c := NewSectorReuseCollector(numBlocks, subPerBlock, 8)
+	caps := []int{1, 2, 3, 4}
+	naive := make([]*naiveSectored, len(caps))
+	survived := make([]int64, len(caps))
+	for i, n2 := range caps {
+		naive[i] = newNaiveSectored(n2)
+	}
+	for _, ref := range stream {
+		c.Access(ref[0], uint16(ref[1]))
+		for i := range caps {
+			if naive[i].access(ref[0], uint16(ref[1])) {
+				survived[i]++
+			}
+		}
+	}
+	p := c.Profile()
+	for i, n2 := range caps {
+		if got := p.Sector.HitMass(int64(n2)); got != float64(survived[i]) {
+			t.Errorf("after compactions: Sector.HitMass(%d) = %v, want %d", n2, got, survived[i])
+		}
+	}
+}
+
+func TestSectorRejectsEmptySpace(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {4, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSectorReuseCollector(%d, %d, 8) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewSectorReuseCollector(bad[0], bad[1], 8)
+		}()
+	}
+}
+
+func TestSectorAccessAllocFree(t *testing.T) {
+	c := NewSectorReuseCollector(64, 16, 16)
+	rng := rand.New(rand.NewSource(1))
+	refs := make([][2]uint32, 4096)
+	for i := range refs {
+		refs[i] = [2]uint32{uint32(rng.Intn(64)), uint32(rng.Intn(16))}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		r := refs[i%len(refs)]
+		c.Access(r[0], uint16(r[1]))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("SectorReuseCollector.Access allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSectorAccess(b *testing.B) {
+	c := NewSectorReuseCollector(4096, 16, 16)
+	rng := rand.New(rand.NewSource(1))
+	refs := make([][2]uint32, 1<<14)
+	for i := range refs {
+		refs[i] = [2]uint32{uint32(rng.Intn(4096)), uint32(rng.Intn(16))}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := refs[i&(1<<14-1)]
+		c.Access(r[0], uint16(r[1]))
+	}
+}
+
+// TestBatchRecordsMatchAccess drives two collectors over the same
+// logical reference stream — one through Access alone, one substituting
+// the batched Record calls for the runs they contract to cover — and
+// requires identical profiles. Each batch kind is exercised at both
+// parities, immediately after the two real accesses that establish its
+// precondition, with shared random traffic in between so batches land
+// on arbitrary collector states.
+func TestBatchRecordsMatchAccess(t *testing.T) {
+	const (
+		numBlocks   = 24
+		subPerBlock = 16
+	)
+	naive := NewSectorReuseCollector(numBlocks, subPerBlock, 16)
+	batched := NewSectorReuseCollector(numBlocks, subPerBlock, 16)
+	both := func(block uint32, sub uint16) {
+		naive.Access(block, sub)
+		batched.Access(block, sub)
+	}
+
+	// Zero-length batches are no-ops.
+	batched.RecordRepeats(0)
+	batched.RecordAlternations(0)
+	batched.RecordCrossAlternations(0, 0, 0, 1, 0)
+
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 200; round++ {
+		for _, ref := range sectorStream(rng, numBlocks, subPerBlock, 12) {
+			both(ref[0], uint16(ref[1]))
+		}
+		n := int64(1 + rng.Intn(7)) // both parities
+		blk := uint32(rng.Intn(numBlocks))
+		s1 := uint16(rng.Intn(subPerBlock))
+		switch round % 3 {
+		case 0: // repeats of the last line
+			both(blk, s1)
+			for i := int64(0); i < n; i++ {
+				naive.Access(blk, s1)
+			}
+			batched.RecordRepeats(n)
+		case 1: // same-block two-line ping-pong
+			s2 := uint16((int(s1) + 1 + rng.Intn(subPerBlock-1)) % subPerBlock)
+			both(blk, s1)
+			both(blk, s2)
+			for i := int64(0); i < n; i++ {
+				if i&1 == 0 {
+					naive.Access(blk, s1)
+				} else {
+					naive.Access(blk, s2)
+				}
+			}
+			batched.RecordAlternations(n)
+		case 2: // cross-block two-line ping-pong
+			blk2 := uint32((int(blk) + 1 + rng.Intn(numBlocks-1)) % numBlocks)
+			s2 := uint16(rng.Intn(subPerBlock))
+			both(blk, s1)
+			both(blk2, s2)
+			for i := int64(0); i < n; i++ {
+				if i&1 == 0 {
+					naive.Access(blk, s1)
+				} else {
+					naive.Access(blk2, s2)
+				}
+			}
+			if n&1 == 1 { // the side referenced last closes out the run
+				batched.RecordCrossAlternations(n, blk, s1, blk2, s2)
+			} else {
+				batched.RecordCrossAlternations(n, blk2, s2, blk, s1)
+			}
+		}
+	}
+	// A shared tail so post-batch state differences would surface.
+	for _, ref := range sectorStream(rng, numBlocks, subPerBlock, 200) {
+		both(ref[0], uint16(ref[1]))
+	}
+
+	got, want := batched.Profile(), naive.Profile()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched profile diverges from Access-only reference:\ngot  %+v\nwant %+v", got, want)
+	}
+}
