@@ -32,15 +32,27 @@
 //	-metrics run.jsonl   stream per-frame counters (JSONL, or CSV via .csv)
 //	-manifest run.json   record config hash, environment, totals and spans
 //	-reuse hist.json     reuse-distance histogram over L2 block addresses
+//	-trace out.json      worker-attributed Chrome trace_event file — open it
+//	                     in Perfetto (ui.perfetto.dev) or chrome://tracing;
+//	                     also prints the aggregated phase/straggler report
+//	-monitor addr        serve live JSON run snapshots over HTTP while the
+//	                     run is in flight (GET /snapshot, GET /trace)
+//	-spans out.jsonl     write the texscope phase-span log (read it back with
+//	                     tracetool spans)
 //	-cpuprofile cpu.pb   CPU profile; -memprofile heap.pb heap profile
 //
 //	texsim -workload village -sweep -metrics run.jsonl -manifest run.json
+//	texsim -workload city -sweep -parallel 4 -trace sweep.json
+//	texsim -workload city -sweep -monitor localhost:8844
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -83,6 +95,11 @@ func run() int {
 	metricsPath := flag.String("metrics", "", "write the per-frame metric stream here (.csv = CSV, else JSONL)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (config hash, environment, totals, spans) here")
 	reusePath := flag.String("reuse", "", "write a reuse-distance histogram over L2 block addresses here")
+	tracePath := flag.String("trace", "",
+		"write a worker-attributed Chrome trace_event file (Perfetto) here and print the phase report")
+	monitorAddr := flag.String("monitor", "",
+		"serve live run snapshots as JSON over HTTP on this address while running")
+	spansPath := flag.String("spans", "", "write the texscope phase-span log (JSONL, for tracetool spans) here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here")
 	flag.Parse()
@@ -192,8 +209,23 @@ func run() int {
 		}
 	}
 	cfg.Metrics = telemetry.Tee(emitters...)
-	if *manifestPath != "" {
+	if *manifestPath != "" || *spansPath != "" {
 		cfg.Tracer = telemetry.NewTracer(telemetry.NewWallClock())
+	}
+	if *tracePath != "" || *monitorAddr != "" {
+		cfg.Trace = telemetry.NewTrace(telemetry.NewWallClock())
+	}
+	if *monitorAddr != "" {
+		monFrames := *frames
+		if monFrames <= 0 {
+			monFrames = w.Frames
+		}
+		stop, err := startMonitor(*monitorAddr, cfg.Trace, monFrames)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texsim: monitor:", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	if *cpuprofile != "" {
@@ -268,7 +300,70 @@ func run() int {
 			return 1
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, cfg.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "texsim: writing trace:", err)
+			return 1
+		}
+	}
+	if *spansPath != "" {
+		if err := writeSpans(*spansPath, cfg.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "texsim: writing spans:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// startMonitor serves live run snapshots over HTTP until the returned
+// stop function is called. Listening before returning means a caller
+// that polls immediately after texsim prints the address never races
+// the socket.
+func startMonitor(addr string, tr *telemetry.Trace, frames int) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: telemetry.NewMonitor(tr, frames)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "texsim: monitor:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "texsim: monitor listening on http://%s/\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
+// writeTrace exports the run's Chrome trace_event file and prints the
+// aggregated phase report to stdout.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace written to %s (open in Perfetto or chrome://tracing)\n", path)
+	return tr.Report().WriteText(os.Stdout)
+}
+
+// writeSpans writes the texscope phase-span log as JSONL, the shape
+// tracetool spans reads back.
+func writeSpans(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectSpecs resolves the -specs argument against the canonical sweep.

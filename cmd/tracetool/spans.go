@@ -1,0 +1,136 @@
+// The spans subcommand reads a texscope phase-span log (the JSONL that
+// texsim -spans or a manifest's sidecar tracer writes) and prints a
+// per-phase summary table: span count, total, mean and max duration,
+// and each phase's share of the run wall clock.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// spanRecord mirrors one line of telemetry.Tracer.WriteJSON output.
+type spanRecord struct {
+	Name    string `json:"name"`
+	Depth   int    `json:"depth"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// spanPhase is one row of the summary: every span sharing a name.
+type spanPhase struct {
+	name  string
+	count int
+	total int64
+	max   int64
+}
+
+func spans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags
+	if fs.NArg() != 1 {
+		usage()
+	}
+	var in io.Reader
+	if path := fs.Arg(0); path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = f.Close() }() // read-only
+		in = f
+	}
+	out, err := summarizeSpans(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+// summarizeSpans parses the span log and renders the summary table,
+// returned as a string so tests can pin it byte-for-byte.
+func summarizeSpans(r io.Reader) (string, error) {
+	var records []spanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec spanRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return "", fmt.Errorf("spans: line %d: %w", line, err)
+		}
+		if rec.Name == "" {
+			return "", fmt.Errorf("spans: line %d: span without a name", line)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if len(records) == 0 {
+		return "", fmt.Errorf("spans: no spans in input")
+	}
+
+	// The run window spans the earliest start to the latest end; nested
+	// spans overlap their parents, so phase totals may exceed 100%.
+	minStart, maxEnd := records[0].StartNS, int64(0)
+	byName := map[string]*spanPhase{}
+	var order []*spanPhase
+	for _, rec := range records {
+		if rec.StartNS < minStart {
+			minStart = rec.StartNS
+		}
+		if end := rec.StartNS + rec.DurNS; end > maxEnd {
+			maxEnd = end
+		}
+		p := byName[rec.Name]
+		if p == nil {
+			p = &spanPhase{name: rec.Name}
+			byName[rec.Name] = p
+			order = append(order, p)
+		}
+		p.count++
+		p.total += rec.DurNS
+		if rec.DurNS > p.max {
+			p.max = rec.DurNS
+		}
+	}
+	run := maxEnd - minStart
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].total != order[j].total {
+			return order[i].total > order[j].total
+		}
+		return order[i].name < order[j].name
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d spans, %d phases, run %.3f ms\n",
+		len(records), len(order), float64(run)/1e6)
+	fmt.Fprintf(&b, "%-18s %6s %12s %12s %12s %7s\n",
+		"phase", "count", "total ms", "mean ms", "max ms", "%run")
+	for _, p := range order {
+		pct := 0.0
+		if run > 0 {
+			pct = 100 * float64(p.total) / float64(run)
+		}
+		fmt.Fprintf(&b, "%-18s %6d %12.3f %12.3f %12.3f %6.1f%%\n",
+			p.name, p.count,
+			float64(p.total)/1e6,
+			float64(p.total)/float64(p.count)/1e6,
+			float64(p.max)/1e6, pct)
+	}
+	return b.String(), nil
+}

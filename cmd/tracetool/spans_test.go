@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSummarizeSpansGolden pins the spans table byte-for-byte against a
+// hand-written log shaped exactly like telemetry.Tracer.WriteJSON
+// output: a run window of [0, 10ms), a repeated nested phase, and a
+// blank line that must be skipped.
+func TestSummarizeSpansGolden(t *testing.T) {
+	in := strings.Join([]string{
+		`{"name":"render","depth":0,"start_ns":0,"dur_ns":6000000}`,
+		`{"name":"encode","depth":1,"start_ns":1000000,"dur_ns":2000000}`,
+		`{"name":"encode","depth":1,"start_ns":4000000,"dur_ns":1500000}`,
+		``,
+		`{"name":"replay:pull-2k","depth":0,"start_ns":6000000,"dur_ns":4000000}`,
+	}, "\n") + "\n"
+
+	want := "" +
+		"4 spans, 3 phases, run 10.000 ms\n" +
+		"phase               count     total ms      mean ms       max ms    %run\n" +
+		"render                  1        6.000        6.000        6.000   60.0%\n" +
+		"replay:pull-2k          1        4.000        4.000        4.000   40.0%\n" +
+		"encode                  2        3.500        1.750        2.000   35.0%\n"
+
+	got, err := summarizeSpans(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("summary mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSummarizeSpansTieBreak pins the deterministic ordering of phases
+// with equal totals: name order, stable across runs.
+func TestSummarizeSpansTieBreak(t *testing.T) {
+	in := `{"name":"b","depth":0,"start_ns":0,"dur_ns":5}` + "\n" +
+		`{"name":"a","depth":0,"start_ns":5,"dur_ns":5}` + "\n"
+	got, err := summarizeSpans(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := strings.Index(got, "\na "), strings.Index(got, "\nb ")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("equal-total phases not in name order:\n%s", got)
+	}
+}
+
+func TestSummarizeSpansErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"blank":     "\n\n",
+		"junk":      "not json\n",
+		"anonymous": `{"depth":0,"start_ns":0,"dur_ns":5}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := summarizeSpans(strings.NewReader(in)); err == nil {
+			t.Errorf("%s input: want error, got none", name)
+		}
+	}
+}
+
+// TestSummarizeSpansZeroRun covers the degenerate all-zero-duration log:
+// no division by the empty run window.
+func TestSummarizeSpansZeroRun(t *testing.T) {
+	in := `{"name":"x","depth":0,"start_ns":7,"dur_ns":0}` + "\n"
+	got, err := summarizeSpans(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "run 0.000 ms") || !strings.Contains(got, "0.0%") {
+		t.Errorf("zero-run summary:\n%s", got)
+	}
+}

@@ -14,6 +14,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"texcache/internal/telemetry"
 )
 
 const (
@@ -45,6 +47,9 @@ type chunkPool struct {
 	cond        *sync.Cond
 	free        []*chunk
 	outstanding int
+	// inflight, when non-nil, tracks the bytes currently held outside
+	// the free list on the "chunk-bytes-inflight" textrace counter.
+	inflight *telemetry.Counter
 }
 
 func newChunkPool() *chunkPool {
@@ -64,6 +69,7 @@ func (p *chunkPool) acquire(urgent func() bool) *chunk {
 	for len(p.free) == 0 && p.outstanding >= chunkBudget && !urgent() {
 		p.cond.Wait()
 	}
+	p.inflight.Add(chunkSize)
 	if n := len(p.free); n > 0 {
 		c := p.free[n-1]
 		p.free[n-1] = nil
@@ -78,6 +84,7 @@ func (p *chunkPool) acquire(urgent func() bool) *chunk {
 func (p *chunkPool) put(c *chunk) {
 	c.data = c.data[:0]
 	p.mu.Lock()
+	p.inflight.Add(-chunkSize)
 	p.free = append(p.free, c)
 	p.cond.Signal()
 	p.mu.Unlock()
@@ -198,6 +205,9 @@ func (w *chunkWriter) Write(p []byte) (int, error) {
 		copy(w.cur.data[m:], p[:k])
 		p = p[k:]
 		if len(w.cur.data) == chunkSize {
+			// Account before publishing: once published, the chunk may be
+			// released and recycled by consumers at any moment.
+			w.rt.traceBytes.Add(chunkSize)
 			w.seq.publish(w.cur, int32(w.rt.consumers))
 			w.cur = nil
 		}
@@ -208,6 +218,7 @@ func (w *chunkWriter) Write(p []byte) (int, error) {
 // finish publishes the partial tail chunk and completes the frame.
 func (w *chunkWriter) finish() {
 	if w.cur != nil {
+		w.rt.traceBytes.Add(int64(len(w.cur.data)))
 		w.seq.publish(w.cur, int32(w.rt.consumers))
 		w.cur = nil
 	}

@@ -257,13 +257,25 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec,
 	rast.SetSink(sink)
 	pipeline := scene.NewPipeline(rast)
 
+	// The serial engine emits the same logical textrace events as the
+	// parallel engines — "render" frame spans and per-spec "replayed/"
+	// samples — so a canonical-regime export is identical whichever
+	// engine ran. Its single physical track is the render pass.
+	tk := render.Trace.Track("render")
+	replayed := make([]*telemetry.Counter, len(specs))
+	for i, spec := range specs {
+		replayed[i] = render.Trace.Counter("replayed/" + spec.Name)
+	}
+
 	aspect := float64(render.Width) / float64(render.Height)
 	prev := make([]cache.Counters, len(specs))
 	for f := 0; f < render.Frames; f++ {
+		fspan := tk.Begin("render", "frame", int64(f))
 		if sink.collect != nil {
 			sink.collect.BeginFrame()
 		}
 		pst := pipeline.RenderFrame(w.Scene, w.Camera(aspect, f, render.Frames))
+		fspan.End()
 		cmp.FramePixels = append(cmp.FramePixels, rast.Pixels())
 		var sf *stats.Frame
 		if sink.collect != nil {
@@ -287,6 +299,7 @@ func runComparisonSerial(w *workload.Workload, render Config, specs []CacheSpec,
 			if render.Metrics != nil {
 				render.Metrics.Frame(metricsFrame(w.Name, cmp.Specs[i], f, &fr))
 			}
+			replayed[i].Sample(int64(f), int64(f)+1)
 			cmp.Results[i].Frames = append(cmp.Results[i].Frames, fr)
 		}
 	}

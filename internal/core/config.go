@@ -76,6 +76,18 @@ type Config struct {
 	// engine. Span timings are observational sidecar data and never feed
 	// back into simulation output.
 	Tracer *telemetry.Tracer
+	// Trace, when non-nil, is the textrace registry: worker-attributed
+	// span tracks (render worker N, replay group G, fast-probe), counter
+	// tracks (chunk-pool bytes in flight, frames rendered, per-spec
+	// replay progress, replay queue depth) and instant events for
+	// protocol edges (shard publish, chunk abort, model refusal), across
+	// all three engines. Export it with WriteChromeTrace for
+	// Perfetto/chrome://tracing, or serve it live through
+	// telemetry.NewMonitor. Under a deterministic clock (FakeClock) the
+	// export is byte-identical at every Parallelism / RenderWorkers
+	// setting; a nil Trace costs one predictable branch per event site
+	// and allocates nothing.
+	Trace *telemetry.Trace
 	// CollectReuse enables the reuse-distance probe: an LRU stack
 	// distance histogram over L2 block addresses of the rendered
 	// reference stream, attached to Results.Reuse / Comparison.Reuse.

@@ -43,10 +43,14 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 	var replaySpecs []CacheSpec
 	var replayIdx []int
 	probe := newReuseProbe(set)
+	mt := render.Trace.Track("model")
 	type l1geom struct{ bytes, ways int }
 	filters := map[l1geom]*probeFilter{}
 	for i, spec := range specs {
 		if err := reusemodel.Check(modelSpec(spec), blockEdge); err != nil {
+			// A model refusal is a protocol edge: this spec leaves the
+			// analytic path and falls back to exact replay.
+			mt.Instant("model", "exact-fallback", int64(i), spec.Name)
 			replaySpecs = append(replaySpecs, spec)
 			replayIdx = append(replayIdx, i)
 			continue
@@ -79,6 +83,7 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 	var framePixels []int64
 	results := make([]*Results, len(specs))
 	if len(replaySpecs) > 0 {
+		fb := render.Tracer.Start("exact-fallback")
 		sub := render
 		sub.FastSweep = false
 		var cmp *Comparison
@@ -88,6 +93,7 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 		} else {
 			cmp, err = runComparisonSerial(w, sub, replaySpecs, probe)
 		}
+		fb.End()
 		if err != nil {
 			return nil, err
 		}
@@ -97,6 +103,7 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 		}
 	} else {
 		sp := render.Tracer.Start("render")
+		pt := render.Trace.Track("fast-probe")
 		rast, err := raster.New(raster.Config{
 			Width: render.Width, Height: render.Height,
 			Mode:           render.Mode,
@@ -110,8 +117,13 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 		aspect := float64(render.Width) / float64(render.Height)
 		framePixels = make([]int64, 0, render.Frames)
 		for f := 0; f < render.Frames; f++ {
+			// Logical "probe": the bare instrumented render only exists
+			// on the all-modeled path, a deterministic property of the
+			// spec list, so it is canonical-visible.
+			fr := pt.Begin("probe", "frame", int64(f))
 			pipeline.RenderFrame(w.Scene, w.Camera(aspect, f, render.Frames))
 			framePixels = append(framePixels, rast.Pixels())
+			fr.End()
 		}
 		sp.End()
 	}
@@ -129,19 +141,27 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 	cmp.ReuseProfile = probe.profile()
 	attachModel(cmp, specs)
 
+	// Snapshot the probe's exact TLB filters; their stats overwrite the
+	// modeled (absent) TLB numbers below.
+	tp := render.Tracer.Start("tlb-patch")
+	tlb2 := mt.Begin("model", "tlb-patch", int64(len(specs)))
 	tlbStats := make(map[int]cache.TLBStats)
 	for _, f := range probe.filters {
 		for _, t := range f.tlbs {
 			tlbStats[t.specIdx] = t.tlb.Stats()
 		}
 	}
+	tlb2.End()
+	tp.End()
 	for i, spec := range specs {
 		cmp.Specs[i] = spec.Name
 		if cmp.Results[i] != nil {
 			continue // replayed exactly
 		}
+		ev := mt.Begin("model", "eval", int64(i))
 		m := &cmp.Model[i]
 		if !m.Modeled {
+			ev.End()
 			// Check admitted the spec during partitioning, so Predict
 			// cannot have refused it.
 			return nil, fmt.Errorf("core: fast sweep: spec %q: %s", spec.Name, m.Unreachable)
@@ -156,6 +176,7 @@ func runComparisonFast(w *workload.Workload, render Config, specs []CacheSpec) (
 			Totals:      totals,
 			ModelFrames: render.Frames,
 		}
+		ev.End()
 	}
 	return cmp, nil
 }

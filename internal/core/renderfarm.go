@@ -24,12 +24,14 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"texcache/internal/raster"
 	"texcache/internal/scene"
 	"texcache/internal/stats"
+	"texcache/internal/telemetry"
 	"texcache/internal/texture"
 	"texcache/internal/trace"
 	"texcache/internal/workload"
@@ -60,6 +62,10 @@ type renderContext struct {
 	pipeline *scene.Pipeline
 	sink     raster.TraceSink
 	aspect   float64
+	// track is the worker's textrace timeline ("render worker K"); frame
+	// spans carry the logical "render" identity so the canonical export
+	// is the same whether the farm or the serial pass rendered them.
+	track *telemetry.Track
 }
 
 func newRenderContext(render Config) (*renderContext, error) {
@@ -86,6 +92,8 @@ func newRenderContext(render Config) (*renderContext, error) {
 // synchronise on. On error the frame's partial chunks are abandoned and
 // the caller aborts the sequence.
 func (rt *renderedTrace) renderFrame(rc *renderContext, w *workload.Workload, render Config, f int) error {
+	fr := rc.track.Begin("render", "frame", int64(f))
+	defer fr.End()
 	enc := render.Tracer.Start("encode")
 	cw := &chunkWriter{rt: rt, seq: rt.frames[f], f: f}
 	tw := trace.NewWriter(cw)
@@ -104,6 +112,10 @@ func (rt *renderedTrace) renderFrame(rc *renderContext, w *workload.Workload, re
 	rt.pixels[f] = rc.rast.Pixels()
 	cw.finish()
 	pub.End()
+	rc.track.Instant("", "shard-publish", int64(f), "")
+	rt.rendered.Add(1)
+	rt.rendered.Gauge(int64(f))
+	rt.traceBytes.Gauge(int64(f))
 	return nil
 }
 
@@ -122,11 +134,13 @@ func (rt *renderedTrace) renderFrames(rc *renderContext, w *workload.Workload, r
 			return firstErr
 		}
 		if firstErr != nil {
+			rc.track.Instant("", "chunk-abort", f, "")
 			rt.frames[f].abort()
 			continue
 		}
 		if err := rt.renderFrame(rc, w, render, int(f)); err != nil {
 			firstErr = err
+			rc.track.Instant("", "chunk-abort", f, "")
 			rt.frames[f].abort()
 		}
 	}
@@ -205,6 +219,7 @@ func (rt *renderedTrace) renderFarm(w *workload.Workload, render Config, collect
 			rt.abort(0)
 			return err
 		}
+		rc.track = render.Trace.Track("render worker " + strconv.Itoa(k))
 		ctxs[k] = rc
 	}
 	if collect != nil {

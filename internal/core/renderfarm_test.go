@@ -78,13 +78,13 @@ func TestRenderFarmShardIdentity(t *testing.T) {
 
 	// Zero consumers puts the traces in retain mode: chunks are never
 	// recycled, so each frame's full shard bytes stay joinable.
-	serial := newRenderedTrace(render.Frames, 0)
+	serial := newRenderedTrace(render.Frames, 0, nil)
 	if err := serial.render(w, render, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	for _, workers := range farmWorkerCounts()[1:] {
-		farm := newRenderedTrace(render.Frames, 0)
+		farm := newRenderedTrace(render.Frames, 0, nil)
 		if err := farm.renderFarm(w, render, nil, nil, workers, -1); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,9 +76,19 @@ type renderedTrace struct {
 	pipeline []scene.FrameStats
 	pixels   []int64
 	stats    []stats.Frame // per frame, when collecting
+
+	// textrace wiring (all nil-safe no-ops when trc is nil): the
+	// coordinator track carries protocol instants and the assemble span;
+	// rendered counts finished frames, traceBytes the encoded stream
+	// volume, qdepth the render-ahead distance of the slowest consumer.
+	trc        *telemetry.Trace
+	coord      *telemetry.Track
+	rendered   *telemetry.Counter
+	traceBytes *telemetry.Counter
+	qdepth     *telemetry.Counter
 }
 
-func newRenderedTrace(frames, consumers int) *renderedTrace {
+func newRenderedTrace(frames, consumers int, trc *telemetry.Trace) *renderedTrace {
 	rt := &renderedTrace{
 		pool:      newChunkPool(),
 		frames:    make([]*chunkSeq, frames),
@@ -85,7 +96,14 @@ func newRenderedTrace(frames, consumers int) *renderedTrace {
 		pos:       make([]atomic.Int64, consumers),
 		pipeline:  make([]scene.FrameStats, frames),
 		pixels:    make([]int64, frames),
+
+		trc:        trc,
+		coord:      trc.Track("coordinator"),
+		rendered:   trc.Counter("frames-rendered"),
+		traceBytes: trc.Counter("trace-bytes"),
+		qdepth:     trc.Counter("replay-queue-depth"),
 	}
+	rt.pool.inflight = trc.Counter("chunk-bytes-inflight")
 	for f := range rt.frames {
 		rt.frames[f] = newChunkSeq()
 	}
@@ -116,6 +134,12 @@ func (rt *renderedTrace) acquire(f int) *chunk {
 // re-evaluates blocked producers, whose frame may have become the floor.
 func (rt *renderedTrace) advance(ci, f int) {
 	rt.pos[ci].Store(int64(f))
+	if rt.qdepth != nil {
+		// How far rendering runs ahead of this consumer — a wall-only
+		// gauge (scheduling-dependent by nature).
+		rt.qdepth.Set(rt.rendered.Value() - int64(f))
+		rt.qdepth.Gauge(int64(f))
+	}
 	rt.pool.wake()
 }
 
@@ -138,6 +162,7 @@ func (rt *renderedTrace) release(c *chunk) {
 // abort marks every frame from f on as dead so that blocked consumers
 // wake up and drain instead of waiting forever.
 func (rt *renderedTrace) abort(from int) {
+	rt.coord.Instant("", "chunk-abort", int64(from), "")
 	for f := from; f < len(rt.frames); f++ {
 		rt.frames[f].abort()
 	}
@@ -191,6 +216,7 @@ func (rt *renderedTrace) consume(ci int, h trace.Handler) error {
 func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *stats.Collector, reuse *reuseProbe) error {
 	sp := render.Tracer.Start("render")
 	defer sp.End()
+	tk := rt.trc.Track("render")
 	rast, err := raster.New(raster.Config{
 		Width: render.Width, Height: render.Height,
 		Mode:           render.Mode,
@@ -225,6 +251,7 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 	}
 
 	for f := 0; f < render.Frames; f++ {
+		fr := tk.Begin("render", "frame", int64(f))
 		enc := render.Tracer.Start("encode")
 		cw := &chunkWriter{rt: rt, seq: rt.frames[f], f: f}
 		tw = trace.NewWriter(cw)
@@ -237,6 +264,7 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		tw.EndFrame(rast.Pixels())
 		if err := tw.Close(); err != nil {
 			enc.End()
+			fr.End()
 			cw.abandon()
 			rt.abort(f)
 			return fmt.Errorf("core: sweep: encoding frame %d: %w", f, err)
@@ -251,6 +279,11 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 		}
 		cw.finish()
 		pub.End()
+		tk.Instant("", "shard-publish", int64(f), "")
+		rt.rendered.Add(1)
+		rt.rendered.Gauge(int64(f))
+		rt.traceBytes.Gauge(int64(f))
+		fr.End()
 	}
 	return nil
 }
@@ -258,10 +291,14 @@ func (rt *renderedTrace) render(w *workload.Workload, render Config, collect *st
 // sweepSpecState is one spec's replay state within a group: its
 // hierarchy (owned by the group's multiSink), its result slot, and the
 // previous counter snapshot the per-frame deltas subtract from.
+// replayed is the spec's textrace progress counter ("replayed/<name>"),
+// sampled once per replayed frame with the deterministic frame count —
+// the canonical-regime progress timeline every engine reproduces.
 type sweepSpecState struct {
-	hier *cache.Hierarchy
-	res  *Results
-	prev cache.Counters
+	hier     *cache.Hierarchy
+	res      *Results
+	prev     cache.Counters
+	replayed *telemetry.Counter
 }
 
 // sweepGroup fans one decoded reference stream out to a worker's share
@@ -275,9 +312,18 @@ type sweepSpecState struct {
 type sweepGroup struct {
 	sink  *multiSink
 	specs []*sweepSpecState
+	// track is the group's physical textrace timeline ("replay group G");
+	// frame counts replayed frames and open is the current frame span.
+	track *telemetry.Track
+	frame int
+	open  telemetry.Region
 }
 
-func (g *sweepGroup) BeginFrame() {}
+func (g *sweepGroup) BeginFrame() {
+	// Wall-only: the serial engine replays nothing, so replay frame
+	// spans carry no logical identity.
+	g.open = g.track.Begin("", "frame", int64(g.frame))
+}
 
 // Texel forwards one trusted reference to the group's fan-out sink.
 //
@@ -294,7 +340,13 @@ func (g *sweepGroup) EndFrame(pixels int64) {
 			Counters: cur.Sub(s.prev),
 		})
 		s.prev = cur
+		// Deterministic by construction: a group replays frames in
+		// order, so frame g.frame completing means g.frame+1 frames of
+		// this spec are done, whatever the scheduling.
+		s.replayed.Sample(int64(g.frame), int64(g.frame)+1)
 	}
+	g.open.End()
+	g.frame++
 }
 
 // replayGroup drives one worker's spec group through the whole rendered
@@ -307,6 +359,8 @@ func (g *sweepGroup) EndFrame(pixels int64) {
 func replayGroup(rt *renderedTrace, ci int, g *sweepGroup, tracer *telemetry.Tracer, span string) error {
 	sp := tracer.Start("replay:" + span)
 	defer sp.End()
+	rg := g.track.Begin("", "replay", int64(ci))
+	defer rg.End()
 	if err := rt.consume(ci, g); err != nil {
 		return err
 	}
@@ -365,7 +419,7 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 	}
 	groups := specGroups(len(specs), par)
 	sweeps := make([]*sweepGroup, 0, len(groups))
-	for _, gr := range groups {
+	for gi, gr := range groups {
 		ms, err := buildMultiSink(set, specs[gr[0]:gr[1]])
 		if err != nil {
 			return nil, err
@@ -373,11 +427,13 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		g := &sweepGroup{
 			sink:  ms,
 			specs: make([]*sweepSpecState, 0, gr[1]-gr[0]),
+			track: render.Trace.Track("replay group " + strconv.Itoa(gi)),
 		}
 		for i := gr[0]; i < gr[1]; i++ {
 			g.specs = append(g.specs, &sweepSpecState{
-				hier: ms.specs[i-gr[0]].hier,
-				res:  cmp.Results[i],
+				hier:     ms.specs[i-gr[0]].hier,
+				res:      cmp.Results[i],
+				replayed: render.Trace.Counter("replayed/" + specs[i].Name),
 			})
 		}
 		sweeps = append(sweeps, g)
@@ -406,7 +462,7 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 		statsCi = nconsumers
 		nconsumers++
 	}
-	rt := newRenderedTrace(render.Frames, nconsumers)
+	rt := newRenderedTrace(render.Frames, nconsumers, render.Trace)
 
 	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
@@ -443,6 +499,8 @@ func runComparisonParallel(w *workload.Workload, render Config, specs []CacheSpe
 	// pipeline statistics come from the render pass.
 	asm := render.Tracer.Start("assemble")
 	defer asm.End()
+	asm2 := rt.coord.Begin("", "assemble", 0)
+	defer asm2.End()
 	for _, res := range cmp.Results {
 		for f := range res.Frames {
 			res.Frames[f].Pipeline = rt.pipeline[f]

@@ -1,0 +1,120 @@
+// Live run monitor: stdlib-HTTP JSON snapshots of a running textrace
+// registry. texsim -monitor addr serves one of these next to a sweep;
+// every endpoint reads the same Trace the engines are recording into,
+// so there is no second bookkeeping path to drift. The monitor never
+// reads the wall clock itself — elapsed time comes from the trace's
+// injected clock — so snapshot tests run entirely on a FakeClock.
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// CounterValue is one counter's live reading in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// TrackStatus is one track's live state in a snapshot.
+type TrackStatus struct {
+	Name string `json:"name"`
+	// Open is the innermost span currently open, "" when idle.
+	Open        string  `json:"open,omitempty"`
+	Spans       int     `json:"spans"`
+	BusyNS      int64   `json:"busy_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+// SpecProgress is one swept spec's replay progress, derived from its
+// "replayed/<spec>" counter.
+type SpecProgress struct {
+	Spec   string  `json:"spec"`
+	Frames int64   `json:"frames_replayed"`
+	Total  int64   `json:"frames_total,omitempty"`
+	Done   float64 `json:"done"`
+}
+
+// MonitorSnapshot is the JSON document the monitor serves.
+type MonitorSnapshot struct {
+	ElapsedNS   int64          `json:"elapsed_ns"`
+	FramesTotal int64          `json:"frames_total,omitempty"`
+	Specs       []SpecProgress `json:"specs,omitempty"`
+	Counters    []CounterValue `json:"counters,omitempty"`
+	Tracks      []TrackStatus  `json:"tracks,omitempty"`
+}
+
+// replayedPrefix names the per-spec progress counters the engines
+// maintain; the monitor derives SpecProgress rows from them.
+const replayedPrefix = "replayed/"
+
+// Monitor serves live snapshots of one trace registry. frames is the
+// run's frame count, used to turn per-spec replay counters into
+// fractions (0 = unknown).
+type Monitor struct {
+	tr     *Trace
+	frames int64
+}
+
+// NewMonitor wraps a trace registry for serving.
+func NewMonitor(tr *Trace, frames int) *Monitor {
+	return &Monitor{tr: tr, frames: int64(frames)}
+}
+
+// Snapshot assembles the current state. Safe to call while engines are
+// recording; a nil-trace monitor reports an empty snapshot.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	snap := MonitorSnapshot{FramesTotal: m.frames}
+	if m.tr == nil {
+		return snap
+	}
+	snap.ElapsedNS = m.tr.now()
+	counters := m.tr.snapshotCounters()
+	snap.Counters = make([]CounterValue, 0, len(counters))
+	for _, c := range counters {
+		v := c.Value()
+		snap.Counters = append(snap.Counters, CounterValue{Name: c.name, Value: v})
+		if spec, ok := strings.CutPrefix(c.name, replayedPrefix); ok {
+			p := SpecProgress{Spec: spec, Frames: v, Total: m.frames}
+			if m.frames > 0 {
+				p.Done = float64(v) / float64(m.frames)
+			}
+			snap.Specs = append(snap.Specs, p)
+		}
+	}
+	tracks := m.tr.snapshotTracks()
+	snap.Tracks = make([]TrackStatus, 0, len(tracks))
+	for _, k := range tracks {
+		spans, busy, open := k.status()
+		st := TrackStatus{Name: k.name, Open: open, Spans: spans, BusyNS: busy}
+		if snap.ElapsedNS > 0 {
+			st.Utilization = float64(busy) / float64(snap.ElapsedNS)
+		}
+		snap.Tracks = append(snap.Tracks, st)
+	}
+	return snap
+}
+
+// ServeHTTP serves the snapshot as JSON at / and /snapshot, and the
+// full Chrome trace_event export so far at /trace.
+func (m *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/", "/snapshot":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m.Snapshot()); err != nil {
+			// Client went away mid-write; nothing to clean up.
+			return
+		}
+	case "/trace":
+		w.Header().Set("Content-Type", "application/json")
+		if err := m.tr.WriteChromeTrace(w); err != nil {
+			return
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
