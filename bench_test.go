@@ -1,6 +1,7 @@
 package texcache
 
 import (
+	"bytes"
 	"io"
 	"testing"
 
@@ -214,6 +215,55 @@ func BenchmarkSweepParallelRenderSerial(b *testing.B) { benchSweep(b, 0, 1, fals
 // counters — for the canonical sweep the replay set is empty, so no
 // trace is recorded or replayed at all.
 func BenchmarkSweepFast(b *testing.B) { benchSweep(b, 0, 0, true) }
+
+// ---------------------------------------------------------------------------
+// Intra-spec replay benchmarks: one recorded Village stream replayed
+// through a single 2 MB L2 hierarchy, whole-stream vs four
+// checkpoint-chained frame ranges (rangereplay.go). The trace is recorded
+// once outside the timer, so the measured work is purely the replay
+// engine; serial and ranged produce DeepEqual Results by construction, and
+// the ranged engine's gain is decode/translate overlap across ranges
+// (visible only with more than one CPU).
+// ---------------------------------------------------------------------------
+
+func benchReplaySingleSpec(b *testing.B, replayWorkers int) {
+	b.Helper()
+	scale := experiments.Bench()
+	cfg := core.Config{
+		Width: scale.Width, Height: scale.Height,
+		Frames:  scale.VillageFrames,
+		Mode:    raster.Trilinear,
+		L1Bytes: 2 * 1024,
+		L2: &cache.L2Config{
+			SizeBytes: 2 * 1024 * 1024,
+			Layout:    texture.TileLayout{L2Size: 16, L1Size: 4},
+			Policy:    cache.Clock,
+		},
+		TLBEntries:    16,
+		ReplayWorkers: replayWorkers,
+	}
+	w := workload.Village()
+	var buf bytes.Buffer
+	if _, err := core.RecordTrace(w, cfg, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReplayTrace(bytes.NewReader(data), w.Scene.Textures, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplaySingleSpecSerial is the whole-stream reference replay.
+func BenchmarkReplaySingleSpecSerial(b *testing.B) { benchReplaySingleSpec(b, 1) }
+
+// BenchmarkReplaySingleSpecRanged4 shards the same stream into four
+// checkpoint-chained frame ranges.
+func BenchmarkReplaySingleSpecRanged4(b *testing.B) { benchReplaySingleSpec(b, 4) }
 
 // BenchmarkTraceRecordReplay measures the trace encode+decode round trip.
 func BenchmarkTraceRecordReplay(b *testing.B) {

@@ -1,0 +1,159 @@
+package cache
+
+import "fmt"
+
+// Snapshot is a deep copy of a Hierarchy's complete state at some point
+// in a reference stream: L1 tags, per-line LRU order and tick, the L2
+// page table, BRL owner array, free list and replacement-policy state
+// (clock hand and active bits, exact-LRU order, or PRNG state), TLB
+// contents and round-robin/hot indices, every statistics counter, and —
+// under -tags texsan — the sanitizer's shadow state, so a restored
+// hierarchy re-verifies the same invariants serial replay would.
+//
+// A Snapshot shares nothing with the hierarchy it came from or with any
+// hierarchy it is restored into: it may be restored any number of times,
+// and the source may keep running. Together with Restore it is the
+// checkpoint primitive of the frame-range-parallel replay engine: range
+// k's worker restores the snapshot range k−1 published at its boundary
+// and continues bit-identically to serial replay.
+type Snapshot struct {
+	l1  *L1Cache
+	l2  *L2Cache
+	tlb *TLB
+
+	hostBytes    int64
+	l2ReadBytes  int64
+	l2WriteBytes int64
+
+	san sanState
+}
+
+// clone returns an independent deep copy of the L1 cache.
+func (c *L1Cache) clone() *L1Cache {
+	return &L1Cache{
+		ways:    c.ways,
+		setMask: c.setMask,
+		tags:    append([]uint64(nil), c.tags...),
+		lastUse: append([]uint64(nil), c.lastUse...),
+		tick:    c.tick,
+		stats:   c.stats,
+	}
+}
+
+// restoreFrom copies s's state into c, reusing c's arrays. The caller
+// has verified the geometry matches.
+func (c *L1Cache) restoreFrom(s *L1Cache) {
+	copy(c.tags, s.tags)
+	copy(c.lastUse, s.lastUse)
+	c.tick = s.tick
+	c.stats = s.stats
+}
+
+// clone returns an independent deep copy of the L2 cache.
+func (c *L2Cache) clone() *L2Cache {
+	out := &L2Cache{
+		cfg:       c.cfg,
+		table:     append([]pageEntry(nil), c.table...),
+		owner:     append([]int32(nil), c.owner...),
+		free:      append([]int32(nil), c.free...),
+		policy:    c.policy.Clone(),
+		numBlocks: c.numBlocks,
+		fullMask:  c.fullMask,
+		stats:     c.stats,
+		san:       c.san.clone(),
+	}
+	out.clock, _ = out.policy.(*clockPolicy)
+	return out
+}
+
+// restoreFrom copies s's state into c, reusing c's arrays where the
+// geometry is fixed. The caller has verified the geometry matches.
+func (c *L2Cache) restoreFrom(s *L2Cache) {
+	copy(c.table, s.table)
+	copy(c.owner, s.owner)
+	c.free = append(c.free[:0], s.free...)
+	c.policy = s.policy.Clone()
+	c.clock, _ = c.policy.(*clockPolicy)
+	c.stats = s.stats
+	c.san = s.san.clone()
+}
+
+// clone returns an independent deep copy of the TLB.
+func (t *TLB) clone() *TLB {
+	return &TLB{
+		entries: append([]uint32(nil), t.entries...),
+		next:    t.next,
+		hot:     t.hot,
+		lookups: t.lookups,
+		hits:    t.hits,
+	}
+}
+
+// restoreFrom copies s's state into t, reusing t's entry array. The
+// caller has verified the geometry matches.
+func (t *TLB) restoreFrom(s *TLB) {
+	copy(t.entries, s.entries)
+	t.next = s.next
+	t.hot = s.hot
+	t.lookups = s.lookups
+	t.hits = s.hits
+}
+
+// Snapshot captures the hierarchy's complete state as an independent
+// deep copy. The hierarchy may keep running afterwards.
+func (h *Hierarchy) Snapshot() *Snapshot {
+	s := &Snapshot{
+		l1:           h.L1.clone(),
+		hostBytes:    h.hostBytes,
+		l2ReadBytes:  h.l2ReadBytes,
+		l2WriteBytes: h.l2WriteBytes,
+		san:          h.san.clone(),
+	}
+	if h.L2 != nil {
+		s.l2 = h.L2.clone()
+	}
+	if h.TLB != nil {
+		s.tlb = h.TLB.clone()
+	}
+	return s
+}
+
+// Restore replaces the hierarchy's state with the snapshot's. The
+// hierarchy must have the same geometry the snapshot was taken from —
+// same L1 size and associativity, same L2 configuration and page-table
+// extent, same TLB capacity — since a checkpoint is only meaningful
+// between replicas of one simulated configuration. The snapshot is not
+// consumed: it may be restored again, and shares no state with h after
+// the call.
+func (h *Hierarchy) Restore(s *Snapshot) error {
+	if h.L1.ways != s.l1.ways || h.L1.setMask != s.l1.setMask {
+		return fmt.Errorf("cache: restore: L1 geometry %d sets x %d ways does not match snapshot %d sets x %d ways",
+			h.L1.Sets(), h.L1.Ways(), s.l1.Sets(), s.l1.Ways())
+	}
+	if (h.L2 == nil) != (s.l2 == nil) {
+		return fmt.Errorf("cache: restore: L2 presence mismatch (hierarchy %v, snapshot %v)", h.L2 != nil, s.l2 != nil)
+	}
+	if h.L2 != nil {
+		if h.L2.cfg != s.l2.cfg || len(h.L2.table) != len(s.l2.table) || h.L2.numBlocks != s.l2.numBlocks {
+			return fmt.Errorf("cache: restore: L2 geometry does not match snapshot")
+		}
+	}
+	if (h.TLB == nil) != (s.tlb == nil) {
+		return fmt.Errorf("cache: restore: TLB presence mismatch (hierarchy %v, snapshot %v)", h.TLB != nil, s.tlb != nil)
+	}
+	if h.TLB != nil && len(h.TLB.entries) != len(s.tlb.entries) {
+		return fmt.Errorf("cache: restore: TLB capacity %d does not match snapshot %d", len(h.TLB.entries), len(s.tlb.entries))
+	}
+	h.L1.restoreFrom(s.l1)
+	if h.L2 != nil {
+		h.L2.restoreFrom(s.l2)
+	}
+	if h.TLB != nil {
+		h.TLB.restoreFrom(s.tlb)
+	}
+	h.hostBytes = s.hostBytes
+	h.l2ReadBytes = s.l2ReadBytes
+	h.l2WriteBytes = s.l2WriteBytes
+	h.san = s.san.clone()
+	return nil
+}

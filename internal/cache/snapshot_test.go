@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"texcache/internal/texture"
+)
+
+// snapshotRefs builds a deterministic reference stream over a fixed
+// tag -> <page, sub> mapping (the translation invariant texsan assumes):
+// reference i of the universe always presents the same canonical tag,
+// set hash, page-table index and sub-block.
+func snapshotRefs(n, universe, subPerBlock int) []Ref {
+	refs := make([]Ref, 0, n)
+	state := uint64(0x243F6A8885A308D3)
+	for len(refs) < n {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		i := int(state % uint64(universe))
+		pt := uint32(i / subPerBlock)
+		sub := uint8(i % subPerBlock)
+		refs = append(refs, Ref{
+			L1:      L1Ref{Tag: PackTag(0, pt, uint16(sub)), Set: uint32(i) * 2654435761},
+			PTIndex: pt,
+			Sub:     sub,
+		})
+	}
+	return refs
+}
+
+// snapshotHierarchy builds a small hierarchy that exercises every
+// component: 16 L2 blocks under 64 pages forces steady eviction, and a
+// 4-entry TLB forces replacement there too.
+func snapshotHierarchy(pol PolicyKind) *Hierarchy {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	l2 := MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: pol}, 64)
+	return &Hierarchy{L1: MustNewL1(2048), L2: l2, TLB: NewTLB(4)}
+}
+
+// TestSnapshotRestoreResumesExactly checkpoints a hierarchy mid-stream,
+// restores it into a fresh replica, finishes the stream on both, and
+// requires the full structural state — not just the counters — to match,
+// for every replacement policy.
+func TestSnapshotRestoreResumesExactly(t *testing.T) {
+	refs := snapshotRefs(10000, 64*16, 16)
+	for _, pol := range []PolicyKind{Clock, TrueLRU, Random} {
+		serial := snapshotHierarchy(pol)
+		for _, r := range refs {
+			serial.Access(r)
+		}
+
+		head := snapshotHierarchy(pol)
+		for _, r := range refs[:len(refs)/2] {
+			head.Access(r)
+		}
+		snap := head.Snapshot()
+		// Keep mutating the source after the snapshot: the copy must be
+		// unaffected.
+		for _, r := range refs[len(refs)/2:] {
+			head.Access(r)
+		}
+
+		tail := snapshotHierarchy(pol)
+		if err := tail.Restore(snap); err != nil {
+			t.Fatalf("%v: Restore: %v", pol, err)
+		}
+		for _, r := range refs[len(refs)/2:] {
+			tail.Access(r)
+		}
+		if !reflect.DeepEqual(tail.Counters(), serial.Counters()) {
+			t.Errorf("%v: counters diverged:\nranged %+v\nserial %+v", pol, tail.Counters(), serial.Counters())
+		}
+		if !reflect.DeepEqual(tail, serial) {
+			t.Errorf("%v: structural state diverged after restore", pol)
+		}
+	}
+}
+
+// TestSnapshotIsReusable restores the same snapshot twice and requires
+// both replicas to replay the tail identically: Restore must not alias
+// snapshot state into the target.
+func TestSnapshotIsReusable(t *testing.T) {
+	refs := snapshotRefs(4000, 64*16, 16)
+	h := snapshotHierarchy(Clock)
+	for _, r := range refs[:2000] {
+		h.Access(r)
+	}
+	snap := h.Snapshot()
+
+	a := snapshotHierarchy(Clock)
+	if err := a.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs[2000:] {
+		a.Access(r)
+	}
+	b := snapshotHierarchy(Clock)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs[2000:] {
+		b.Access(r)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two restores of one snapshot diverged")
+	}
+}
+
+// TestSnapshotPullArchitecture covers the L2-less, TLB-less hierarchy.
+func TestSnapshotPullArchitecture(t *testing.T) {
+	refs := snapshotRefs(1000, 64*16, 16)
+	serial := &Hierarchy{L1: MustNewL1(2048)}
+	for _, r := range refs {
+		serial.Access(r)
+	}
+	head := &Hierarchy{L1: MustNewL1(2048)}
+	for _, r := range refs[:500] {
+		head.Access(r)
+	}
+	tail := &Hierarchy{L1: MustNewL1(2048)}
+	if err := tail.Restore(head.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs[500:] {
+		tail.Access(r)
+	}
+	if !reflect.DeepEqual(tail, serial) {
+		t.Error("pull-architecture restore diverged from serial")
+	}
+}
+
+// TestRestoreRejectsGeometryMismatch pins the error paths: a checkpoint
+// must only restore into a replica of the exact configuration.
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	layout := texture.TileLayout{L2Size: 16, L1Size: 4}
+	base := snapshotHierarchy(Clock)
+	snap := base.Snapshot()
+
+	cases := []struct {
+		name string
+		h    *Hierarchy
+	}{
+		{"l1 size", &Hierarchy{
+			L1:  MustNewL1(4096),
+			L2:  MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64),
+			TLB: NewTLB(4),
+		}},
+		{"l1 ways", &Hierarchy{
+			L1:  MustNewL1Assoc(2048, 4),
+			L2:  MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64),
+			TLB: NewTLB(4),
+		}},
+		{"missing l2", &Hierarchy{L1: MustNewL1(2048), TLB: NewTLB(4)}},
+		{"l2 size", &Hierarchy{
+			L1:  MustNewL1(2048),
+			L2:  MustNewL2(L2Config{SizeBytes: 32 * 1024, Layout: layout, Policy: Clock}, 64),
+			TLB: NewTLB(4),
+		}},
+		{"l2 pages", &Hierarchy{
+			L1:  MustNewL1(2048),
+			L2:  MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 128),
+			TLB: NewTLB(4),
+		}},
+		{"missing tlb", &Hierarchy{
+			L1: MustNewL1(2048),
+			L2: MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64),
+		}},
+		{"tlb size", &Hierarchy{
+			L1:  MustNewL1(2048),
+			L2:  MustNewL2(L2Config{SizeBytes: 16 * 1024, Layout: layout, Policy: Clock}, 64),
+			TLB: NewTLB(8),
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.h.Restore(snap); err == nil {
+			t.Errorf("%s: Restore accepted a mismatched geometry", tc.name)
+		}
+	}
+	// The matching geometry still restores.
+	if err := snapshotHierarchy(Clock).Restore(snap); err != nil {
+		t.Errorf("matching geometry rejected: %v", err)
+	}
+}

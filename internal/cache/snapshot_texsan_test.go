@@ -1,0 +1,49 @@
+//go:build texsan
+
+package cache
+
+import "testing"
+
+// TestSnapshotRestoreUnderSanitizer drives the checkpoint/restore path
+// with the invariant sanitizer compiled in: the restored hierarchy must
+// carry the shadow fill map and stale set forward so that per-access
+// counter identities, the periodic deep scan, and the weak-inclusion
+// obligations all keep holding across a checkpoint boundary. The stream
+// is long enough to cross several sanPeriod deep scans on both sides of
+// the boundary; any violated identity panics inside Access.
+func TestSnapshotRestoreUnderSanitizer(t *testing.T) {
+	refs := snapshotRefs(6*sanPeriod, 64*16, 16)
+	mid := len(refs) / 2
+
+	head := snapshotHierarchy(Clock)
+	for _, r := range refs[:mid] {
+		head.Access(r)
+	}
+	snap := head.Snapshot()
+
+	tail := snapshotHierarchy(Clock)
+	if err := tail.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Force a full structural scan immediately after restore: the cloned
+	// shadow state must be consistent with the restored caches before any
+	// further access.
+	tail.sanDeep()
+	for _, r := range refs[mid:] {
+		tail.Access(r)
+	}
+
+	// The boundary must also be restorable more than once under the
+	// sanitizer: a second replica replays the same tail with its own
+	// cloned shadow state.
+	again := snapshotHierarchy(Clock)
+	if err := again.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs[mid:] {
+		again.Access(r)
+	}
+	if tail.Counters() != again.Counters() {
+		t.Errorf("two sanitized restores diverged: %+v vs %+v", tail.Counters(), again.Counters())
+	}
+}

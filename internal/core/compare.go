@@ -78,6 +78,24 @@ type multiSink struct {
 }
 
 func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
+	l1 := s.xlate(tid, u, v, m)
+	s.access(l1)
+	if s.collect != nil {
+		s.collect.Texel(tid, u, v, m)
+	}
+	if s.reuse != nil {
+		s.reuse.Texel(tid, u, v, m)
+	}
+}
+
+// xlate translates one texel to its canonical L1 reference and refreshes
+// every distinct layout's page-table scratch (lx.pt / lx.sub). Split from
+// Texel so the range-replay engine can translate references it cannot yet
+// present to the hierarchies (its checkpoint has not arrived) and buffer
+// the results instead.
+//
+// texlint:hotpath
+func (s *multiSink) xlate(tid texture.ID, u, v, m int) cache.L1Ref {
 	a := s.canon[tid].Addr(u, v, m)
 	l1 := cache.L1Ref{
 		Tag: cache.PackTag(uint32(tid), a.L2, a.L1),
@@ -88,6 +106,14 @@ func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
 		lx.pt = lx.starts[tid] + b.L2
 		lx.sub = uint8(b.L1)
 	}
+	return l1
+}
+
+// access presents the translated reference (l1 plus the layout scratch
+// xlate left behind) to every hierarchy in the fan-out.
+//
+// texlint:hotpath
+func (s *multiSink) access(l1 cache.L1Ref) {
 	for i := range s.specs {
 		sp := &s.specs[i]
 		ref := cache.Ref{L1: l1}
@@ -97,12 +123,6 @@ func (s *multiSink) Texel(tid texture.ID, u, v, m int) {
 			ref.Sub = lx.sub
 		}
 		sp.hier.Access(ref)
-	}
-	if s.collect != nil {
-		s.collect.Texel(tid, u, v, m)
-	}
-	if s.reuse != nil {
-		s.reuse.Texel(tid, u, v, m)
 	}
 }
 
@@ -144,7 +164,10 @@ func RunComparison(w *workload.Workload, render Config, specs []CacheSpec) (*Com
 	if render.FastSweep {
 		return runComparisonFast(w, render, specs)
 	}
-	if par := sweepWorkers(render.Parallelism, len(specs)); par > 1 {
+	par := sweepWorkers(render.Parallelism, len(specs))
+	if par > 1 || replayRangeCount(render.ReplayWorkers, render.Frames) > 1 {
+		// Intra-spec range parallelism runs on the trace engine even when
+		// the spec count alone would take the serial path.
 		return runComparisonParallel(w, render, specs, par, nil)
 	}
 	return runComparisonSerial(w, render, specs, nil)

@@ -65,6 +65,22 @@ type Config struct {
 	// Comparison are byte-identical at every setting. Negative is
 	// invalid.
 	RenderWorkers int
+	// ReplayWorkers enables frame-range-parallel replay of each cache
+	// spec: the frame sequence is partitioned into that many contiguous
+	// ranges and each range replays on its own clone of the spec's
+	// hierarchy, stitched together by checkpoints — range k restores the
+	// complete cache state (L1, L2, TLB, replacement policy) range k−1
+	// published at their shared boundary, so counters, per-frame deltas
+	// and TLB statistics are bit-identical to a serial replay. Until its
+	// checkpoint arrives a range worker decodes and translates ahead into
+	// bounded reference buffers, overlapping the predecessor's cache
+	// work. 0 and 1 both mean off (one range, the serial replay order);
+	// values above the frame count are clamped to it. The knob applies to
+	// the sweep engine's replay groups (RunComparison with Parallelism
+	// != 1, including the -fast engine's exact fallback) and to
+	// ReplayTrace; a ReplayWorkers above 1 forces the trace engine even
+	// when Parallelism is 1. Negative is invalid.
+	ReplayWorkers int
 	// Metrics, when non-nil, receives one telemetry record per simulated
 	// frame (and per cache spec in comparison runs) in a deterministic
 	// frame-major, spec-minor order that is identical at every
@@ -120,6 +136,9 @@ func (c Config) Validate() error {
 	}
 	if c.RenderWorkers < 0 {
 		return fmt.Errorf("core: negative render workers %d", c.RenderWorkers)
+	}
+	if c.ReplayWorkers < 0 {
+		return fmt.Errorf("core: negative replay workers %d", c.ReplayWorkers)
 	}
 	if c.L2 != nil {
 		if err := c.L2.Layout.Validate(); err != nil {

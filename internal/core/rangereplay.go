@@ -1,0 +1,554 @@
+// Frame-range-parallel replay of a single cache spec (or spec group).
+// The sweep engine in sweep.go parallelizes across specs — every worker
+// replays the whole stream through its share of the hierarchies — so a
+// single-spec replay is serial no matter how many cores are idle. This
+// file shards the other axis: the frame sequence is partitioned into
+// contiguous ranges, each range replays on its own clone of the group's
+// hierarchies, and the clones are stitched into one serial-equivalent
+// simulation by checkpoints — range k restores the complete cache state
+// (L1 tags and LRU order, L2 page table, BRL and replacement-policy
+// state, TLB contents, every counter, and under -tags texsan the
+// sanitizer's shadow state) that range k−1 published at their shared
+// frame boundary, then continues exactly where serial replay would be.
+//
+// The pipeline overlap comes from splitting the per-texel work: decoding
+// and address translation are stateless with respect to the caches, but
+// the cache access itself needs the checkpoint. Until its checkpoint
+// arrives, a range worker decodes ahead and buffers translated
+// references (structure-of-arrays blocks from a bounded per-worker
+// pool); when the checkpoint lands it drains the backlog — access only,
+// no re-decoding — and continues live. Cache work thus serializes along
+// the checkpoint chain while decode + translate runs R-wide, which is
+// the win: translation (two tiling walks per texel) dominates the
+// per-texel cost.
+//
+// Determinism: every hierarchy transition of frame f happens on whichever
+// worker owns f, in stream order, starting from state that is provably
+// the serial state at f's boundary (by induction along the chain, range
+// 0 starting cold). Counter deltas subtract the restored counters, so
+// per-frame results are the serial ones; the last range writes Totals.
+// Frames are filled by index into a preallocated slice — each frame
+// owned by exactly one worker — so the assembled Results are
+// DeepEqual-identical to a serial replay at every range count.
+package core
+
+import (
+	"fmt"
+
+	"texcache/internal/cache"
+	"texcache/internal/telemetry"
+	"texcache/internal/texture"
+	"texcache/internal/trace"
+)
+
+const (
+	// rangeBlockTexels is the capacity of one buffered reference block:
+	// 32 Ki texels is ~0.4 MB per L2 layout, large enough that pool
+	// traffic is noise against the per-texel work it holds.
+	rangeBlockTexels = 32 << 10
+	// rangeBlockBudget bounds the blocks one range worker may hold while
+	// waiting for its checkpoint (~2 M buffered texels); at the budget
+	// the worker stalls until the checkpoint arrives. A stalled worker
+	// holds no chunk references and its predecessor is always actively
+	// replaying a lower frame, so the render pipeline keeps draining.
+	rangeBlockBudget = 64
+)
+
+// replayRangeCount resolves the ReplayWorkers knob to an effective range
+// count for a replay of the given frame count: 0 and 1 mean off (one
+// range), and a range never spans less than one frame.
+func replayRangeCount(workers, frames int) int {
+	if workers <= 1 || frames <= 1 {
+		return 1
+	}
+	if workers > frames {
+		workers = frames
+	}
+	return workers
+}
+
+// refBlock buffers translated references in structure-of-arrays form:
+// per texel the canonical L1 tag and set hash, plus — per distinct L2
+// layout in the group — the page-table index and sub-block. Blocks never
+// span a frame boundary.
+type refBlock struct {
+	tags []uint64
+	sets []uint32
+	pts  [][]uint32
+	subs [][]uint8
+	n    int
+}
+
+// blockPool recycles reference blocks within one range worker. held
+// counts the blocks currently buffering texels; the worker checks it
+// against rangeBlockBudget between decoder feeds.
+type blockPool struct {
+	free []*refBlock
+	held int
+}
+
+// get returns an empty block with room for nlayouts per-layout arrays,
+// reusing a drained one when available.
+//
+// texsim:pool
+func (p *blockPool) get(nlayouts int) *refBlock {
+	p.held++
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	b := &refBlock{
+		tags: make([]uint64, rangeBlockTexels),
+		sets: make([]uint32, rangeBlockTexels),
+		pts:  make([][]uint32, nlayouts),
+		subs: make([][]uint8, nlayouts),
+	}
+	// Each layout gets its own full-capacity array: blocks recycle
+	// through the free list, so these are sized up front and reused for
+	// the worker's whole range.
+	for i := range b.pts {
+		b.pts[i] = make([]uint32, rangeBlockTexels, rangeBlockTexels)
+		b.subs[i] = make([]uint8, rangeBlockTexels, rangeBlockTexels)
+	}
+	return b
+}
+
+// put returns a drained block to the free list.
+func (p *blockPool) put(b *refBlock) {
+	b.n = 0
+	p.held--
+	p.free = append(p.free, b)
+}
+
+// bufferedFrame is one fully decoded frame awaiting the checkpoint: its
+// frame index, the pixel count its EndFrame reported, and its reference
+// blocks in stream order.
+type bufferedFrame struct {
+	frame  int
+	pixels int64
+	blocks []*refBlock
+}
+
+// rangeLink is the checkpoint hand-off slot between consecutive range
+// workers: the producer stores the snapshot payload (one cache.Snapshot
+// per spec in the group, or nil with ok=false when it aborted or
+// failed), then closes ready; the consumer reads the fields only after
+// ready is closed. Each link is published exactly once.
+type rangeLink struct {
+	snaps []*cache.Snapshot
+	ok    bool
+	ready chan struct{}
+}
+
+func newRangeLink() *rangeLink { return &rangeLink{ready: make(chan struct{})} }
+
+// publish stores the checkpoint payload and announces it to the waiting
+// successor.
+//
+//texsim:publishes snaps ready
+func (l *rangeLink) publish(snaps []*cache.Snapshot, ok bool) {
+	l.snaps = snaps
+	l.ok = ok
+	close(l.ready)
+}
+
+// posted reports, without blocking, whether the checkpoint has been
+// published.
+func (l *rangeLink) posted() bool {
+	select {
+	case <-l.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// wait blocks until the checkpoint is published. ok=false means the
+// predecessor aborted or failed and no state is coming.
+func (l *rangeLink) wait() (snaps []*cache.Snapshot, ok bool) {
+	<-l.ready
+	return l.snaps, l.ok
+}
+
+// rangeReplayer replays one contiguous frame range [start, end) of the
+// stream for one spec group; it is the trace.Handler a range worker
+// drives its decoder through. The first range starts live (cold caches
+// are the serial state at frame 0); later ranges buffer translated
+// references until the predecessor's checkpoint restores their
+// hierarchies, then drain and continue live. Its textrace track carries
+// wall-only spans ("buffer", "frame", "drain", the "checkpoint-publish"
+// instant): range shape is an engine-parallelism artifact with no serial
+// counterpart, so none of it is canonical.
+type rangeReplayer struct {
+	sink  *multiSink
+	specs []*sweepSpecState
+	track *telemetry.Track
+
+	start, end int
+	last       bool       // final range: owns Results.Totals
+	in         *rangeLink // nil for the first range
+	out        *rangeLink // nil for the final range
+	posted     bool
+
+	frame int // frame currently being decoded
+	live  bool
+	open  telemetry.Region
+
+	pool    blockPool
+	tail    *refBlock // current append target, last of cur
+	cur     []*refBlock
+	pending []bufferedFrame
+
+	// check enables per-texel bounds validation against the texture
+	// registry (ReplayTrace replays external input; sweep chunks are
+	// encoded in-process and trusted). err latches the first failure and
+	// aborts the decode at the next frame boundary via ReplayErr.
+	check      bool
+	err        error
+	badTID     uint32
+	badU, badV int
+	badM       int
+}
+
+func (g *rangeReplayer) BeginFrame() {
+	if g.live {
+		g.open = g.track.Begin("", "frame", int64(g.frame))
+	} else {
+		g.open = g.track.Begin("", "buffer", int64(g.frame))
+	}
+}
+
+// Texel validates (when checking), translates and either presents or
+// buffers one replayed reference. Like the chunk writer's encode side,
+// it stays off the hot-annotation closure because its buffering branch
+// draws blocks from the pool; the per-texel kernels it calls —
+// multiSink.xlate, multiSink.access and accessBlock — carry the
+// hot-path contract.
+func (g *rangeReplayer) Texel(tid uint32, u, v, m int) {
+	if g.check {
+		if g.err != nil {
+			return
+		}
+		if uint64(tid) >= uint64(len(g.sink.canon)) {
+			g.fail(errReplayTID, tid, u, v, m)
+			return
+		}
+		tex := g.sink.canon[tid].Tex
+		if m < 0 || m >= len(tex.Levels) {
+			g.fail(errReplayLevel, tid, u, v, m)
+			return
+		}
+		if u < 0 || u >= tex.Levels[m].Width || v < 0 || v >= tex.Levels[m].Height {
+			g.fail(errReplayCoord, tid, u, v, m)
+			return
+		}
+	}
+	if g.live {
+		g.sink.Texel(texture.ID(tid), u, v, m)
+		return
+	}
+	g.bufferTexel(texture.ID(tid), u, v, m)
+}
+
+// bufferTexel translates one reference and appends it to the current
+// block, opening a fresh one at capacity.
+func (g *rangeReplayer) bufferTexel(tid texture.ID, u, v, m int) {
+	l1 := g.sink.xlate(tid, u, v, m)
+	b := g.tail
+	if b == nil || b.n == rangeBlockTexels {
+		b = g.pool.get(len(g.sink.layouts))
+		g.cur = append(g.cur, b)
+		g.tail = b
+	}
+	n := b.n
+	b.tags[n] = l1.Tag
+	b.sets[n] = l1.Set
+	for li, lx := range g.sink.layouts {
+		b.pts[li][n] = lx.pt
+		b.subs[li][n] = lx.sub
+	}
+	b.n = n + 1
+}
+
+// fail records the first invalid reference.
+func (g *rangeReplayer) fail(err error, tid uint32, u, v, m int) {
+	g.err = err
+	g.badTID, g.badU, g.badV, g.badM = tid, u, v, m
+}
+
+// ReplayErr implements trace.FailingHandler: a validation failure aborts
+// the decode at the next frame boundary.
+func (g *rangeReplayer) ReplayErr() error { return g.err }
+
+// describe wraps the latched validation error with the offending
+// reference, off the hot path. Matches the serial replay's wording.
+func (g *rangeReplayer) describe() error {
+	return fmt.Errorf("core: replay: invalid reference <tid %d, u %d, v %d, mip %d>: %w",
+		g.badTID, g.badU, g.badV, g.badM, g.err)
+}
+
+func (g *rangeReplayer) EndFrame(pixels int64) {
+	if g.live {
+		g.record(g.frame, pixels)
+	} else {
+		g.pending = append(g.pending, bufferedFrame{frame: g.frame, pixels: pixels, blocks: g.cur})
+		g.cur = nil
+		g.tail = nil
+	}
+	g.open.End()
+	g.frame++
+}
+
+// record writes frame f's counter delta into its preallocated result
+// slot — ranged Results are filled by index, every frame owned by
+// exactly one worker — and samples each spec's canonical progress
+// counter (a nil counter no-ops; ranged ReplayTrace emits none, matching
+// its serial path).
+func (g *rangeReplayer) record(f int, pixels int64) {
+	for _, s := range g.specs {
+		cur := s.hier.Counters()
+		s.res.Frames[f] = FrameResult{Pixels: pixels, Counters: cur.Sub(s.prev)}
+		s.prev = cur
+		s.replayed.Sample(int64(f), int64(f)+1)
+	}
+}
+
+// accessBlock presents one buffered block to every hierarchy, in the
+// exact stream order the references were decoded.
+//
+// texlint:hotpath
+func (g *rangeReplayer) accessBlock(b *refBlock) {
+	specs := g.sink.specs
+	for i := 0; i < b.n; i++ {
+		l1 := cache.L1Ref{Tag: b.tags[i], Set: b.sets[i]}
+		for j := range specs {
+			sp := &specs[j]
+			ref := cache.Ref{L1: l1}
+			if sp.layoutIdx >= 0 {
+				ref.PTIndex = b.pts[sp.layoutIdx][i]
+				ref.Sub = b.subs[sp.layoutIdx][i]
+			}
+			sp.hier.Access(ref)
+		}
+	}
+}
+
+// restore seeds every hierarchy from the predecessor's checkpoint,
+// drains the buffered backlog through them in frame order, and switches
+// the worker live. The restored counters become each spec's delta base,
+// so the first drained frame's delta is exactly what serial replay would
+// report for it.
+func (g *rangeReplayer) restore(snaps []*cache.Snapshot) error {
+	if len(snaps) != len(g.specs) {
+		return fmt.Errorf("core: range replay: checkpoint carries %d specs, want %d", len(snaps), len(g.specs))
+	}
+	for i, s := range g.specs {
+		if err := s.hier.Restore(snaps[i]); err != nil {
+			return fmt.Errorf("core: range replay: %w", err)
+		}
+		s.prev = s.hier.Counters()
+	}
+	sp := g.track.Begin("", "drain", int64(g.start))
+	for _, bf := range g.pending {
+		for _, b := range bf.blocks {
+			g.accessBlock(b)
+			g.pool.put(b)
+		}
+		g.record(bf.frame, bf.pixels)
+	}
+	g.pending = g.pending[:0]
+	// The partially decoded current frame drains too; its remaining
+	// texels arrive live.
+	for _, b := range g.cur {
+		g.accessBlock(b)
+		g.pool.put(b)
+	}
+	g.cur = g.cur[:0]
+	g.tail = nil
+	g.live = true
+	sp.End()
+	return nil
+}
+
+// gate runs the between-feeds checks while buffering: upgrade to live if
+// the checkpoint has been published; at the block budget, stall until it
+// is. cont=false means the predecessor aborted or failed — this worker's
+// frames will never be valid, so it stops (the predecessor reports the
+// error).
+func (g *rangeReplayer) gate() (cont bool, err error) {
+	if g.live {
+		return true, nil
+	}
+	if g.pool.held < rangeBlockBudget && !g.in.posted() {
+		return true, nil
+	}
+	snaps, ok := g.in.wait()
+	if !ok {
+		return false, nil
+	}
+	if err := g.restore(snaps); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// finishRange completes the worker's range: drains any backlog still
+// waiting on the checkpoint, publishes this range's own checkpoint
+// before anything else can block, and writes Totals when this is the
+// final range.
+func (g *rangeReplayer) finishRange() (cont bool, err error) {
+	if !g.live {
+		snaps, ok := g.in.wait()
+		if !ok {
+			return false, nil
+		}
+		if err := g.restore(snaps); err != nil {
+			return false, err
+		}
+	}
+	if g.out != nil {
+		snaps := make([]*cache.Snapshot, len(g.specs))
+		for i, s := range g.specs {
+			snaps[i] = s.hier.Snapshot()
+		}
+		g.post(snaps, true)
+		g.track.Instant("", "checkpoint-publish", int64(g.end), "")
+	}
+	if g.last {
+		for _, s := range g.specs {
+			s.res.Totals = s.hier.Counters()
+		}
+	}
+	return true, nil
+}
+
+// post publishes this range's outgoing checkpoint at most once.
+func (g *rangeReplayer) post(snaps []*cache.Snapshot, ok bool) {
+	if g.out == nil || g.posted {
+		return
+	}
+	g.posted = true
+	g.out.publish(snaps, ok)
+}
+
+// abortOut tells the successor no checkpoint is coming; a no-op after a
+// successful publish, so it is safe to defer on every exit path.
+func (g *rangeReplayer) abortOut() { g.post(nil, false) }
+
+// releaseFrame drains one frame's chunks unread, dropping this
+// consumer's references so the pool keeps cycling. Reports false when
+// the frame was aborted.
+func releaseFrame(rt *renderedTrace, f int) bool {
+	seq := rt.frames[f]
+	for i := 0; ; i++ {
+		c, ok := seq.next(i)
+		if !ok {
+			break
+		}
+		rt.release(c)
+	}
+	return !seq.wasAborted()
+}
+
+// consumeRange drives this range worker over the rendered trace as
+// consumer ci. Frames before the range are released unread; frames in
+// the range are decoded (buffered until the checkpoint arrives, live
+// after); frames after the range are released unread only once the
+// worker's own checkpoint is published, so a successor never waits
+// behind chunk bookkeeping. Returns nil when the render aborted — the
+// producer owns that error — and on an upstream abort or failure, which
+// the upstream worker reports.
+func (g *rangeReplayer) consumeRange(rt *renderedTrace, ci int) error {
+	defer rt.detach(ci)
+	defer g.abortOut()
+	for f := 0; f < g.start; f++ {
+		rt.advance(ci, f)
+		if !releaseFrame(rt, f) {
+			return nil
+		}
+	}
+	var dec trace.ShardDecoder
+	for f := g.start; f < g.end; f++ {
+		seq := rt.frames[f]
+		rt.advance(ci, f)
+		dec.Reset()
+		for i := 0; ; i++ {
+			// Checkpoint and budget checks run between feeds only: a feed
+			// hands the decoder this handler for the chunk's whole extent,
+			// so mid-chunk state flips would tear a frame.
+			if cont, err := g.gate(); err != nil {
+				return err
+			} else if !cont {
+				return nil
+			}
+			c, ok := seq.next(i)
+			if !ok {
+				break
+			}
+			err := dec.Feed(c.data, g)
+			rt.release(c)
+			if err != nil {
+				return fmt.Errorf("core: sweep replay: %w", err)
+			}
+		}
+		if seq.wasAborted() {
+			return nil
+		}
+		if _, err := dec.Finish(g); err != nil {
+			return fmt.Errorf("core: sweep replay: %w", err)
+		}
+	}
+	if cont, err := g.finishRange(); err != nil {
+		return err
+	} else if !cont {
+		return nil
+	}
+	for f := g.end; f < len(rt.frames); f++ {
+		rt.advance(ci, f)
+		if !releaseFrame(rt, f) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// consumeBytes replays this worker's frame range from a contiguous
+// in-memory stream (the ranged ReplayTrace path): the frame index gives
+// the byte window, the decoder seeks to the range's first frame, and the
+// window is fed in chunk-sized slices so the checkpoint and budget gates
+// run between feeds exactly as in sweep mode.
+func (g *rangeReplayer) consumeBytes(data []byte, index []trace.FramePos) error {
+	defer g.abortOut()
+	start := index[g.start].Offset
+	end := int64(len(data))
+	if g.end < len(index) {
+		end = index[g.end].Offset
+	}
+	var dec trace.ShardDecoder
+	dec.Seek(index[g.start])
+	for off := start; off < end; {
+		if cont, err := g.gate(); err != nil {
+			return err
+		} else if !cont {
+			return nil
+		}
+		nx := min(off+chunkSize, end)
+		if err := dec.Feed(data[off:nx], g); err != nil {
+			if g.err != nil {
+				return g.describe()
+			}
+			return fmt.Errorf("core: replay: %w", err)
+		}
+		off = nx
+	}
+	if _, err := dec.Finish(g); err != nil {
+		if g.err != nil {
+			return g.describe()
+		}
+		return fmt.Errorf("core: replay: %w", err)
+	}
+	_, err := g.finishRange()
+	return err
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"texcache/internal/cache"
+	"texcache/internal/texture"
+	"texcache/internal/trace"
+	"texcache/internal/workload"
+)
+
+// normalizeEngineKnobs zeroes the engine-selection fields recorded in a
+// comparison's configs so runs that differ only in how the work was
+// scheduled (Parallelism, RenderWorkers, ReplayWorkers) DeepEqual each
+// other — those knobs must never change any simulated quantity.
+func normalizeEngineKnobs(cmp *Comparison) {
+	cmp.Render.Parallelism = 0
+	cmp.Render.RenderWorkers = 0
+	cmp.Render.ReplayWorkers = 0
+	for _, res := range cmp.Results {
+		res.Config.Parallelism = 0
+		res.Config.RenderWorkers = 0
+		res.Config.ReplayWorkers = 0
+	}
+}
+
+// TestIntraSpecReplayMatchesSerial is the tentpole identity: a
+// single-spec comparison replayed as 1, 2, 3, 4 and GOMAXPROCS frame
+// ranges must be DeepEqual — counters, per-frame deltas, TLB statistics,
+// working-set StatLayouts and the reuse histogram — to the serial
+// reference fan-out, over bench-scale Village and City.
+func TestIntraSpecReplayMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		w      *workload.Workload
+		frames int
+	}{
+		{workload.Village(), 12},
+		{workload.City(), 8},
+	} {
+		t.Run(tc.w.Name, func(t *testing.T) {
+			render := testCfg()
+			render.Frames = tc.frames
+			render.StatLayouts = []texture.TileLayout{{L2Size: 16, L1Size: 4}}
+			render.CollectReuse = true
+			specs := []CacheSpec{l2spec("l2-2m", 2*1024, 2, 16)}
+
+			serial, err := RunComparison(tc.w, render, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalizeEngineKnobs(serial)
+			for _, ranges := range []int{1, 2, 3, 4, runtime.GOMAXPROCS(0)} {
+				r2 := render
+				r2.ReplayWorkers = ranges
+				got, err := RunComparison(tc.w, r2, specs)
+				if err != nil {
+					t.Fatalf("ranges=%d: %v", ranges, err)
+				}
+				normalizeEngineKnobs(got)
+				if !reflect.DeepEqual(got, serial) {
+					t.Errorf("ranges=%d: comparison diverged from serial", ranges)
+				}
+			}
+		})
+	}
+}
+
+// TestIntraSpecReplayComposesWithSpecGroups runs both parallel axes at
+// once — spec groups x frame ranges — against the serial reference.
+func TestIntraSpecReplayComposesWithSpecGroups(t *testing.T) {
+	render := testCfg()
+	render.Frames = 8
+	specs := []CacheSpec{
+		{Name: "pull-2k", L1Bytes: 2 * 1024},
+		l2spec("l2-2m", 2*1024, 2, 16),
+		l2spec("l2-4m", 16*1024, 4, 8),
+	}
+	serial, err := RunComparison(workload.Village(), render, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeEngineKnobs(serial)
+	r2 := render
+	r2.Parallelism = 2
+	r2.ReplayWorkers = 3
+	got, err := RunComparison(workload.Village(), r2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeEngineKnobs(got)
+	if !reflect.DeepEqual(got, serial) {
+		t.Error("grouped+ranged comparison diverged from serial")
+	}
+}
+
+// TestIntraSpecReplayFastFallback covers the -fast engine's exact
+// fallback with ranged replay: a random-replacement spec is outside the
+// analytic model's reach, so it replays exactly — here as 3 frame ranges.
+func TestIntraSpecReplayFastFallback(t *testing.T) {
+	render := testCfg()
+	render.Frames = 6
+	spec := l2spec("l2-rand", 2*1024, 2, 16)
+	spec.L2.Policy = cache.Random
+
+	serial, err := RunComparison(workload.Village(), render, []CacheSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := render
+	r2.FastSweep = true
+	r2.ReplayWorkers = 3
+	got, err := RunComparison(workload.Village(), r2, []CacheSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Totals != serial.Results[0].Totals {
+		t.Errorf("fast-fallback ranged totals diverged:\nranged %+v\nserial %+v",
+			got.Results[0].Totals, serial.Results[0].Totals)
+	}
+}
+
+// TestReplayTraceRangedMatchesSerial pins the ranged ReplayTrace path:
+// the same recorded stream replayed serially and at several range counts
+// must produce DeepEqual Results, including under a frame limit.
+func TestReplayTraceRangedMatchesSerial(t *testing.T) {
+	cfg := withL2(testCfg(), 2)
+	cfg.Frames = 8
+	set := workload.Village().Scene.Textures
+	var buf bytes.Buffer
+	if _, err := RecordTrace(workload.Village(), cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	serial, err := ReplayTrace(bytes.NewReader(data), set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		r2 := cfg
+		r2.ReplayWorkers = workers
+		got, err := ReplayTrace(bytes.NewReader(data), set, r2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got.Config.ReplayWorkers = 0
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: ranged replay diverged from serial", workers)
+		}
+	}
+
+	// A frame limit bounds the ranged replay exactly like the serial one.
+	lim := cfg
+	lim.Frames = 3
+	wantLim, err := ReplayTrace(bytes.NewReader(data), set, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim.ReplayWorkers = 4
+	gotLim, err := ReplayTrace(bytes.NewReader(data), set, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLim.Config.ReplayWorkers = 0
+	if !reflect.DeepEqual(gotLim, wantLim) {
+		t.Error("frame-limited ranged replay diverged from serial")
+	}
+}
+
+// TestReplayTraceRangedRejectsHostileStreams: the ranged path keeps the
+// serial path's per-reference validation — a multi-frame stream with an
+// out-of-range reference in a later range is rejected with the same
+// descriptive error, never a panic, at any worker count.
+func TestReplayTraceRangedRejectsHostileStreams(t *testing.T) {
+	set := workload.Village().Scene.Textures
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for f := 0; f < 4; f++ {
+		w.BeginFrame()
+		w.Texel(0, 0, 0, 0)
+		if f == 2 {
+			w.Texel(uint32(set.Len()), 0, 0, 0)
+		}
+		w.EndFrame(1)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := withL2(testCfg(), 2)
+	cfg.ReplayWorkers = 4
+	_, err := ReplayTrace(bytes.NewReader(buf.Bytes()), set, cfg)
+	if err == nil {
+		t.Fatal("hostile stream accepted by ranged replay")
+	}
+	if !strings.Contains(err.Error(), "texture id out of range") ||
+		!strings.Contains(err.Error(), "invalid reference") {
+		t.Errorf("err = %q, want the offending reference described", err)
+	}
+
+	// A structurally truncated stream is rejected by the frame index.
+	good := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReplayTrace(bytes.NewReader(good), set, cfg); err == nil {
+		t.Error("truncated stream accepted by ranged replay")
+	}
+}
+
+// TestReplayRangeCount pins the knob resolution.
+func TestReplayRangeCount(t *testing.T) {
+	cases := []struct{ workers, frames, want int }{
+		{0, 10, 1}, {1, 10, 1}, {2, 10, 2}, {4, 10, 4},
+		{16, 10, 10}, {4, 1, 1}, {4, 0, 1}, {2, 2, 2},
+	}
+	for _, c := range cases {
+		if got := replayRangeCount(c.workers, c.frames); got != c.want {
+			t.Errorf("replayRangeCount(%d, %d) = %d, want %d", c.workers, c.frames, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FramePos records where one frame begins inside a contiguous trace
+// stream: the byte offset of its opFrame opcode and the delta-coder
+// state carried into the frame (current texture, MIP level and texel
+// coordinates — the writer persists them across frame boundaries within
+// one stream). Seeding a ShardDecoder with a FramePos via Seek lets a
+// replay worker start decoding at that frame without decoding anything
+// before it.
+type FramePos struct {
+	Offset int64
+	TID    uint32
+	M      int
+	U, V   int
+}
+
+// IndexFrames scans a complete contiguous trace stream and returns one
+// FramePos per frame, in order. The scan is purely structural — no
+// handler runs — but performs the decoder's full validation: header,
+// opcode set, varint well-formedness, frame nesting, and truncation.
+// A position is only returned for a frame whose opPixels terminator was
+// reached, and the whole index is rejected on any malformed byte, so a
+// hostile or truncated shard can never yield a seekable position into
+// garbage; the error is the one a full decode of the same bytes reports.
+func IndexFrames(data []byte) ([]FramePos, error) {
+	if len(data) < len(magic) {
+		return nil, errors.New("trace: short header")
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return nil, errors.New("trace: bad magic or version")
+		}
+	}
+	var index []FramePos
+	var tid uint32
+	var m, u, v int
+	inFrame := false
+	i, n := len(magic), len(data)
+	for i < n {
+		opStart := i
+		code := data[i]
+		i++
+		switch code {
+		case opFrame:
+			if inFrame {
+				return nil, errors.New("trace: nested frame")
+			}
+			inFrame = true
+			index = append(index, FramePos{Offset: int64(opStart), TID: tid, M: m, U: u, V: v})
+		case opSample:
+			du, j := binary.Varint(data[i:])
+			if j <= 0 {
+				return nil, errBadVarint
+			}
+			dv, j2 := binary.Varint(data[i+j:])
+			if j2 <= 0 {
+				return nil, errBadVarint
+			}
+			if !inFrame {
+				return nil, errors.New("trace: sample outside frame")
+			}
+			u += int(du)
+			v += int(dv)
+			i += j + j2
+		case opTexture, opLevel, opPixels:
+			x, j := binary.Uvarint(data[i:])
+			if j <= 0 {
+				return nil, errBadUvarint
+			}
+			i += j
+			switch code {
+			case opTexture:
+				tid = uint32(x)
+			case opLevel:
+				m = int(x)
+			default: // opPixels
+				if !inFrame {
+					return nil, errors.New("trace: frame end outside frame")
+				}
+				inFrame = false
+			}
+		default:
+			return nil, badOpcode(code)
+		}
+	}
+	if inFrame {
+		return nil, errors.New("trace: truncated inside a frame")
+	}
+	return index, nil
+}
+
+// Seek primes the decoder to begin mid-stream at a frame boundary
+// recorded by IndexFrames: the header is treated as already verified
+// and the delta-coder state entering the frame is seeded, so feeding
+// the stream's bytes from fp.Offset onward replays exactly the frames
+// from that boundary, with event-for-event identical semantics to a
+// decode from the start of the stream.
+func (d *ShardDecoder) Seek(fp FramePos) {
+	*d = ShardDecoder{tid: fp.TID, m: fp.M, u: fp.U, v: fp.V, hdr: len(magic)}
+}
+
+// ReplayBytesRange replays frames [from, to) of a contiguous stream
+// through h, using an index previously built by IndexFrames over the
+// same bytes. It is the bounds-checked range-seek entry point: the
+// range is validated against the index and the index against the data,
+// so a stale or hostile index cannot cause an out-of-bounds decode.
+// It returns the number of frames replayed.
+func ReplayBytesRange(data []byte, index []FramePos, from, to int, h Handler) (int, error) {
+	if from < 0 || to < from || to > len(index) {
+		return 0, fmt.Errorf("trace: frame range [%d,%d) outside index of %d frames", from, to, len(index))
+	}
+	if from == to {
+		return 0, nil
+	}
+	start := index[from].Offset
+	end := int64(len(data))
+	if to < len(index) {
+		end = index[to].Offset
+	}
+	if start < int64(len(magic)) || start > end || end > int64(len(data)) {
+		return 0, fmt.Errorf("trace: index offsets [%d,%d) outside stream of %d bytes", start, end, len(data))
+	}
+	var d ShardDecoder
+	d.Seek(index[from])
+	if err := d.Feed(data[start:end], h); err != nil {
+		return d.Frames(), err
+	}
+	return d.Finish(h)
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// indexStream builds a multi-frame stream whose delta-coder state (tid,
+// level, coordinates) deliberately persists across every frame boundary,
+// so a seek that fails to seed the carried state decodes wrong texels.
+func indexStream(t *testing.T, frames int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	u, v := 100, -50
+	for f := 0; f < frames; f++ {
+		w.BeginFrame()
+		for i := 0; i < 5; i++ {
+			// Continue the coordinate walk from the previous frame and
+			// only switch texture/level occasionally, so most frames
+			// begin with inherited tid/m/u/v.
+			u += 3*f + i
+			v -= 2 * i
+			w.Texel(uint32(7+f/2), u, v, (f/3)%4)
+		}
+		w.EndFrame(int64(10 * (f + 1)))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// frameEvents replays the whole stream and splits the event log per
+// frame, as the oracle for range decodes.
+func frameEvents(t *testing.T, data []byte) []*eventLog {
+	t.Helper()
+	split := &frameSplitter{}
+	if _, err := ReplayBytes(data, split); err != nil {
+		t.Fatal(err)
+	}
+	return split.frames
+}
+
+type frameSplitter struct {
+	frames []*eventLog
+	cur    *eventLog
+}
+
+func (s *frameSplitter) BeginFrame() {
+	s.cur = &eventLog{}
+	s.cur.BeginFrame()
+	s.frames = append(s.frames, s.cur)
+}
+func (s *frameSplitter) EndFrame(px int64)            { s.cur.EndFrame(px) }
+func (s *frameSplitter) Texel(tid uint32, u, v, m int) { s.cur.Texel(tid, u, v, m) }
+
+// TestIndexFramesSeekMatchesSerial indexes a stream and replays every
+// [from, to) frame range through the seek entry point, demanding the
+// exact event sequence a serial decode produces for those frames.
+func TestIndexFramesSeekMatchesSerial(t *testing.T) {
+	const frames = 9
+	data := indexStream(t, frames)
+	index, err := IndexFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != frames {
+		t.Fatalf("indexed %d frames, want %d", len(index), frames)
+	}
+	if index[0].Offset != int64(len(magic)) {
+		t.Errorf("first frame offset = %d, want %d", index[0].Offset, len(magic))
+	}
+	want := frameEvents(t, data)
+
+	for from := 0; from <= frames; from++ {
+		for to := from; to <= frames; to++ {
+			var got frameSplitter
+			n, err := ReplayBytesRange(data, index, from, to, &got)
+			if err != nil {
+				t.Fatalf("range [%d,%d): %v", from, to, err)
+			}
+			if n != to-from {
+				t.Fatalf("range [%d,%d): replayed %d frames", from, to, n)
+			}
+			for i, fl := range got.frames {
+				if !fl.equal(want[from+i]) {
+					t.Fatalf("range [%d,%d): frame %d events diverged", from, to, from+i)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexFramesRejectsHostileStreams requires the structural scan to
+// reject every malformed stream a full decode rejects — no position may
+// ever point into bytes the validator did not walk.
+func TestIndexFramesRejectsHostileStreams(t *testing.T) {
+	good := indexStream(t, 3)
+	hostile := map[string][]byte{
+		"empty":             {},
+		"short header":      []byte("TXT"),
+		"bad magic":         []byte("WRONG!"),
+		"unknown opcode":    append(append([]byte{}, magic...), 0xEE),
+		"end outside frame": append(append([]byte{}, magic...), opPixels, 3),
+		"sample outside":    append(append([]byte{}, magic...), opSample, 2, 2),
+		"nested frame":      append(append([]byte{}, magic...), opFrame, opFrame),
+		"overflow varint": append(append([]byte{}, magic...), opFrame, opSample,
+			0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80),
+		"truncated mid-frame":  good[:len(good)-3],
+		"truncated mid-varint": good[:len(good)-1],
+	}
+	for name, data := range hostile {
+		if _, err := IndexFrames(data); err == nil {
+			t.Errorf("%s: IndexFrames accepted a malformed stream", name)
+		}
+		// The error must agree with the full decoder's verdict.
+		var d ShardDecoder
+		var log eventLog
+		ferr := d.Feed(data, &log)
+		if ferr == nil {
+			_, ferr = d.Finish(&log)
+		}
+		if ferr == nil {
+			t.Errorf("%s: contiguous decode accepted what IndexFrames rejected", name)
+		}
+	}
+}
+
+// TestReplayBytesRangeBounds pins the bounds checks of the range-seek
+// entry point against bad ranges and hostile indices.
+func TestReplayBytesRangeBounds(t *testing.T) {
+	data := indexStream(t, 4)
+	index, err := IndexFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log eventLog
+	for _, rg := range [][2]int{{-1, 2}, {3, 2}, {0, 5}, {5, 5}} {
+		if _, err := ReplayBytesRange(data, index, rg[0], rg[1], &log); err == nil {
+			t.Errorf("range [%d,%d): accepted out-of-bounds range", rg[0], rg[1])
+		}
+	}
+	// A fabricated index pointing past the data must be refused, not
+	// panic.
+	bad := append([]FramePos(nil), index...)
+	bad[1].Offset = int64(len(data)) + 100
+	if _, err := ReplayBytesRange(data, bad, 1, 2, &log); err == nil {
+		t.Error("accepted an index offset beyond the stream")
+	}
+	bad[1].Offset = 0 // inside the header
+	if _, err := ReplayBytesRange(data, bad, 1, 2, &log); err == nil {
+		t.Error("accepted an index offset inside the header")
+	}
+	// Empty range on a valid index replays nothing and succeeds.
+	if n, err := ReplayBytesRange(data, index, 2, 2, &log); err != nil || n != 0 {
+		t.Errorf("empty range: n=%d err=%v", n, err)
+	}
+}
